@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each ``bench_figNN_*`` module regenerates one figure of the paper's
+evaluation section and prints the measured table next to the paper's
+expectations.  Measurement points are memoised across modules (one pytest
+session), so the breakdown figures reuse the bandwidth figures' runs.
+
+Environment knobs:
+
+* ``REPRO_SCALE``       — data-volume scale (default 0.125; 1.0 = the paper's
+  32 GB files; compute delay scales with it).
+* ``REPRO_FULL_SWEEP=1`` — run the paper's full 4×5 aggregator×buffer grid
+  instead of the 4×3 quick grid.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import FULL_SWEEP, QUICK_AGGREGATORS, QUICK_CB_SIZES
+
+
+def sweep():
+    if os.environ.get("REPRO_FULL_SWEEP", "0") == "1":
+        return FULL_SWEEP
+    return QUICK_AGGREGATORS, QUICK_CB_SIZES
+
+
+@pytest.fixture(scope="session")
+def figure_sweep():
+    return sweep()
+
+
+def run_once(benchmark, fn):
+    """Run a figure generator exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

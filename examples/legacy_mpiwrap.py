@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Tuning a legacy application with MPIWRAP (paper Section III-C).
+
+The 'application' below is written in the classical style — open, write,
+close, compute — and knows nothing about the E10 hints.  MPIWRAP, driven by
+a configuration file, injects the cache hints at open and defers the real
+close of each checkpoint to the next open of the same file group, giving
+the legacy code the modified workflow of Fig. 3 'behind the scenes'.
+
+Run:  python examples/legacy_mpiwrap.py
+"""
+
+from repro import Machine, MPIIOLayer, MPIWorld, RankAccess, deep_er_testbed
+from repro.mpiwrap import MPIWrap, WrapConfig
+from repro.units import GiB, MiB, fmt_bw
+
+CONFIG_TEXT = """
+# MPIWRAP configuration: tune every checkpoint file, leave the rest alone.
+[/global/ckpt_*]
+e10_cache = enable
+e10_cache_path = /scratch
+e10_cache_flush_flag = flush_immediate
+e10_cache_discard_flag = enable
+ind_wr_buffer_size = 512k
+cb_nodes = 32
+cb_buffer_size = 16m
+romio_cb_write = enable
+defer_close = true
+"""
+
+NUM_CHECKPOINTS = 3
+BLOCK = 8 * MiB
+COMPUTE = 4.0
+
+
+def legacy_app(ctx, open_fn, close_is_deferred):
+    """A classical checkpointing loop: open -> write -> close -> compute."""
+    io_time = 0.0
+    for k in range(NUM_CHECKPOINTS):
+        t0 = ctx.now
+        fh = yield from open_fn(ctx.rank, f"/global/ckpt_{k:04d}")
+        access = RankAccess.contiguous(ctx.rank * BLOCK, BLOCK)
+        yield from fh.write_all(access)
+        yield from fh.close()  # the wrapper may defer this
+        io_time += ctx.now - t0
+        if k < NUM_CHECKPOINTS - 1:
+            yield from ctx.compute(COMPUTE)
+    return io_time
+
+
+def run(with_wrapper: bool) -> float:
+    machine = Machine(deep_er_testbed(flush_batch_chunks=16))
+    world = MPIWorld(machine)
+    romio = MPIIOLayer(machine, world.comm, driver="beegfs")
+    wrapper = MPIWrap(romio, WrapConfig.parse(CONFIG_TEXT))
+
+    def body(ctx):
+        if with_wrapper:
+            io_time = yield from legacy_app(ctx, wrapper.file_open, True)
+            yield from wrapper.finalize(ctx.rank)  # MPI_Finalize interposition
+        else:
+            def plain_open(rank, path):
+                fh = yield from romio.open(rank, path, {
+                    "cb_nodes": "32", "cb_buffer_size": "16m",
+                    "romio_cb_write": "enable",
+                })
+                return fh
+
+            io_time = yield from legacy_app(ctx, plain_open, False)
+        return io_time
+
+    results = world.run(body)
+    return max(results)
+
+
+def main() -> None:
+    total = NUM_CHECKPOINTS * 512 * BLOCK
+    print(f"legacy checkpoint loop: {NUM_CHECKPOINTS} x {512 * BLOCK / GiB:.0f} GiB\n")
+    plain = run(with_wrapper=False)
+    wrapped = run(with_wrapper=True)
+    print(f"unmodified binary, no wrapper : {plain:6.2f}s I/O  ({fmt_bw(total / plain)})")
+    print(f"LD_PRELOAD'ed MPIWRAP         : {wrapped:6.2f}s I/O  ({fmt_bw(total / wrapped)})")
+    print(
+        "\nSame application code — the wrapper injected the e10 hints and"
+        "\nmoved each close behind the following compute phase."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: one collective write, with and without the E10 cache.
+
+Builds the paper's DEEP-ER testbed (64 nodes x 8 ranks, BeeGFS with 4 data
+servers, one SSD scratch partition per node), runs a 512-rank collective
+write of a shared file twice — once straight to the parallel file system,
+once through the node-local SSD cache with background synchronisation —
+and prints what each rank perceived.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Machine, MPIIOLayer, MPIWorld, RankAccess, deep_er_testbed
+from repro.units import GiB, MiB, fmt_bw
+
+
+def run(cache: bool) -> tuple[float, float]:
+    """Returns (write seconds, close-wait seconds) for one 4 GiB file."""
+    machine = Machine(deep_er_testbed(flush_batch_chunks=16))
+    world = MPIWorld(machine)
+    romio = MPIIOLayer(machine, world.comm, driver="beegfs")
+
+    hints = {
+        "cb_nodes": "64",  # one aggregator per node
+        "cb_buffer_size": "16m",
+        "romio_cb_write": "enable",
+        "striping_unit": "4m",
+        "striping_factor": "4",
+    }
+    if cache:
+        hints.update(
+            e10_cache="enable",
+            e10_cache_path="/scratch",
+            e10_cache_flush_flag="flush_immediate",
+            e10_cache_discard_flag="enable",
+            ind_wr_buffer_size="512k",
+        )
+
+    block = 8 * MiB  # per-rank contribution -> 4 GiB total
+
+    def app(ctx):
+        fh = yield from romio.open(ctx.rank, "/global/quickstart.dat", hints)
+        access = RankAccess.contiguous(ctx.rank * block, block)
+        t0 = ctx.now
+        yield from fh.write_all(access)
+        t_write = ctx.now - t0
+        # The application computes while the cache syncs in the background.
+        yield from ctx.compute(5.0)
+        t0 = ctx.now
+        yield from fh.close()
+        return t_write, ctx.now - t0
+
+    results = world.run(app)
+    return max(r[0] for r in results), max(r[1] for r in results)
+
+
+def main() -> None:
+    total = 512 * 8 * MiB
+    print(f"collective write of {total / GiB:.0f} GiB from 512 ranks on 64 nodes\n")
+    for cache in (False, True):
+        label = "e10_cache=enable " if cache else "e10_cache=disable"
+        t_write, t_close = run(cache)
+        bw = total / (t_write + t_close)
+        print(
+            f"{label}  write_all: {t_write:6.2f}s   close(+sync wait): "
+            f"{t_close:5.2f}s   perceived: {fmt_bw(bw)}"
+        )
+    print(
+        "\nWith the cache, MPI_File_write_all returns as soon as the data is"
+        "\non the node-local SSDs; the flush to BeeGFS hides behind compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

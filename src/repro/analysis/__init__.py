@@ -1,0 +1,17 @@
+"""Measurement analysis: the paper's bandwidth model and breakdowns."""
+
+from repro.analysis.bandwidth import (
+    BandwidthModel,
+    eq1_phase_bandwidth,
+    eq2_average_bandwidth,
+    perceived_bandwidth,
+)
+from repro.analysis.breakdown import breakdown_from_profiles
+
+__all__ = [
+    "BandwidthModel",
+    "breakdown_from_profiles",
+    "eq1_phase_bandwidth",
+    "eq2_average_bandwidth",
+    "perceived_bandwidth",
+]

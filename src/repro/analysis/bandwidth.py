@@ -1,0 +1,133 @@
+"""The paper's bandwidth model — Equations (1) and (2) of Section III-D.
+
+    bw(k) = S(k) / (T_c(k) + max(0, T_s(k) - C(k+1)))                 (1)
+    BW    = ΣS(k) / Σ(T_c(k) + max(0, T_s(k) - C(k+1)))               (2)
+
+and the measurement-side equivalent computed from the
+:class:`~repro.workloads.phases.PhaseTiming` records: in the modified
+workflow the deferred close of file *k* pays exactly
+``max(0, T_s(k) - C(k+1))``, so the denominator is the measured write time
+plus the measured close wait.
+
+:class:`BandwidthModel` also provides closed-form *predictions* of T_c and
+T_s from the cluster configuration — used by tests to cross-check the
+simulator against the analytic model and by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import ClusterConfig
+from repro.workloads.phases import PhaseTiming
+
+
+def eq1_phase_bandwidth(S: float, Tc: float, Ts: float, C_next: float) -> float:
+    """Equation (1): one phase's perceived bandwidth."""
+    denom = Tc + max(0.0, Ts - C_next)
+    if denom <= 0:
+        raise ValueError("non-positive phase time")
+    return S / denom
+
+
+def eq2_average_bandwidth(
+    S: Sequence[float], Tc: Sequence[float], Ts: Sequence[float], C_next: Sequence[float]
+) -> float:
+    """Equation (2): total average bandwidth over all phases."""
+    if not (len(S) == len(Tc) == len(Ts) == len(C_next)):
+        raise ValueError("phase sequences must have equal length")
+    denom = sum(t + max(0.0, s - c) for t, s, c in zip(Tc, Ts, C_next))
+    if denom <= 0:
+        raise ValueError("non-positive total time")
+    return sum(S) / denom
+
+
+def perceived_bandwidth(
+    per_rank_timings: list[list[PhaseTiming]],
+    bytes_per_phase: float,
+    include_last_phase: bool = True,
+) -> float:
+    """Measured Eq. (2) over a phased run.
+
+    Each phase's cost is the *slowest rank's* write time plus the slowest
+    rank's close wait (the not-hidden synchronisation).  ``coll_perf`` and
+    ``Flash-IO`` exclude the last phase's close wait (paper Section IV-B:
+    the last write has no following compute phase to hide behind); IOR
+    includes it (Section IV-D).
+    """
+    nphases = len(per_rank_timings[0])
+    total_time = 0.0
+    total_bytes = 0.0
+    for k in range(nphases):
+        write = max(t[k].write_time + t[k].open_time for t in per_rank_timings)
+        wait = max(t[k].close_wait for t in per_rank_timings)
+        last = k == nphases - 1
+        if last and not include_last_phase:
+            wait = 0.0
+        total_time += write + wait
+        total_bytes += bytes_per_phase
+    return total_bytes / total_time
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Closed-form predictions of the cache/flush costs from a config.
+
+    Deliberately simple — first-order resource arithmetic, no queueing —
+    so deviations between prediction and simulation localise modelling
+    effects (tests assert agreement within a factor).
+    """
+
+    config: ClusterConfig
+
+    def sync_thread_rate(self, chunk: int) -> float:
+        """One sync thread's sustained flush rate (bytes/s) with ``chunk``-sized
+        synchronous writes: read-back + RTT + transfer + server overhead."""
+        cfg = self.config
+        per_chunk = (
+            cfg.pfs.sync_client_rtt
+            + cfg.ssd.latency
+            + chunk / cfg.ssd.read_bw
+            + chunk / cfg.pfs.per_client_max_bw
+            + cfg.pfs.rpc_overhead
+        )
+        return chunk / per_chunk
+
+    def flush_time(self, total_bytes: float, aggregators: int, chunk: int) -> float:
+        """Predicted T_s: per-client limited at few aggregators, server
+        (ingest + drain) limited at many."""
+        cfg = self.config
+        per_client = self.sync_thread_rate(chunk) * aggregators
+        ingest = cfg.pfs.server_ingest_bw * cfg.pfs.num_data_servers
+        drain = cfg.pfs.hdd.stream_bw * cfg.pfs.num_data_servers
+        cache_room = cfg.pfs.server_cache_bytes * cfg.pfs.num_data_servers
+        rate_limit = min(per_client, ingest)
+        if total_bytes <= cache_room:
+            return total_bytes / rate_limit
+        # absorb the cache room at the fast rate, drain-limit the remainder
+        t_fast = cache_room / rate_limit
+        remainder = total_bytes - cache_room
+        return t_fast + remainder / min(rate_limit, drain)
+
+    def cache_write_time(self, total_bytes: float, aggregators: int) -> float:
+        """Predicted T_c floor: shuffle into aggregator NICs + page-cache copy."""
+        cfg = self.config
+        per_agg = total_bytes / aggregators
+        shuffle = per_agg / cfg.network.nic_bw
+        copy = per_agg / cfg.ram.memcpy_bw  # assemble + page-cache write
+        return shuffle + 2 * copy
+
+    def pfs_collective_write_time(self, total_bytes: float) -> float:
+        """Predicted cache-disabled write floor: the PFS aggregate ceiling."""
+        cfg = self.config
+        drain = cfg.pfs.hdd.stream_bw * cfg.pfs.num_data_servers
+        ingest = cfg.pfs.server_ingest_bw * cfg.pfs.num_data_servers
+        cache_room = cfg.pfs.server_cache_bytes * cfg.pfs.num_data_servers
+        absorbed = min(total_bytes, cache_room)
+        return absorbed / ingest + max(0.0, total_bytes - absorbed) / drain
+
+    def hidden(self, total_bytes: float, aggregators: int, chunk: int, compute: float) -> bool:
+        """Will the flush hide inside the compute phase?"""
+        return self.flush_time(total_bytes, aggregators, chunk) <= compute

@@ -1,0 +1,32 @@
+"""Phase-contribution breakdowns (the paper's Figs. 5, 6, 8, 10)."""
+
+from __future__ import annotations
+
+from repro.romio.profiling import PHASES, PhaseProfile, aggregate_max, aggregate_mean
+
+
+def breakdown_from_profiles(
+    profiles: list[PhaseProfile], how: str = "max"
+) -> dict[str, float]:
+    """Collapse per-rank profiles into the plotted per-phase seconds.
+
+    ``max`` is the straggler view (what bounds wall clock and what the
+    paper's stacked bars approximate); ``mean`` is available for
+    diagnostics.
+    """
+    if how == "max":
+        agg = aggregate_max(profiles)
+    elif how == "mean":
+        agg = aggregate_mean(profiles)
+    else:
+        raise ValueError(f"unknown aggregation {how!r}")
+    return {phase: agg.get(phase) for phase in PHASES if agg.get(phase) > 0}
+
+
+def merge_breakdowns(parts: list[dict[str, float]]) -> dict[str, float]:
+    """Sum per-phase seconds across files/phases of one experiment."""
+    out: dict[str, float] = {}
+    for part in parts:
+        for phase, dt in part.items():
+            out[phase] = out.get(phase, 0.0) + dt
+    return out

@@ -1,0 +1,16 @@
+"""The E10 persistent cache layer (the paper's primary contribution).
+
+Aggregators write collective data to the node-local SSD scratch file system
+instead of the global file; a per-aggregator sync thread
+(:mod:`repro.cache.syncthread`, the simulated
+``ADIOI_Sync_thread_start()``) reads cached extents back in
+``ind_wr_buffer_size`` chunks and writes them to the global file in the
+background, completing an MPI generalized request per extent.  Flush,
+discard and coherence policies follow the Table II hints.
+"""
+
+from repro.cache.cachefile import CacheOpenError, CacheState
+from repro.cache.policy import CachePolicy
+from repro.cache.syncthread import SyncRequest, SyncThread
+
+__all__ = ["CacheOpenError", "CachePolicy", "CacheState", "SyncRequest", "SyncThread"]

@@ -1,0 +1,133 @@
+"""Per-aggregator cache file state (``cache_fd`` in the paper).
+
+Opened by ``ADIOI_GEN_OpenColl`` when ``e10_cache`` is enabled; holds the
+local file handle, the sync thread, the pending-request list for
+``flush_onclose``, outstanding generalized requests, and — in coherent
+mode — the refcounts of global-file stripe locks held over in-transit
+extents.
+
+Cache-file extents live at their *global-file offsets* (the local FS is
+sparse), so no extra layout metadata is needed to flush, and a later
+collective write to a different region of the same file reuses the same
+cache file naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.policy import CachePolicy
+from repro.cache.syncthread import SyncRequest, SyncThread
+from repro.intervals import IntervalSet
+from repro.localfs.ext4 import ENOSPC, LocalFileSystem
+from repro.mpi.request import GeneralizedRequest
+
+
+class CacheOpenError(OSError):
+    """Cache file could not be opened/allocated; caller reverts to standard open."""
+
+
+class CacheState:
+    """Everything one aggregator keeps per cached global file."""
+
+    def __init__(self, machine, rank: int, global_file, policy: CachePolicy, comm):
+        self.machine = machine
+        self.rank = rank
+        self.global_file = global_file
+        self.policy = policy
+        self.comm = comm
+        self.localfs: LocalFileSystem = machine.local_fs_of_rank(rank)
+        cache_name = f"{policy.cache_path}/r{rank}{global_file.path.replace('/', '_')}.cache"
+        try:
+            self.local_file = self.localfs.open(cache_name, create=True)
+        except OSError as exc:  # pragma: no cover - namespace errors are rare
+            raise CacheOpenError(str(exc)) from exc
+        self.sync_thread = SyncThread(machine, rank, self, global_file, policy)
+        self.pending: list[SyncRequest] = []  # not yet submitted (flush_onclose)
+        self.outstanding: list[GeneralizedRequest] = []
+        self.cached = IntervalSet()  # extents currently buffered locally
+        self.bytes_cached = 0
+        self._stripe_refs: dict[int, int] = {}
+        self.closed = False
+
+    # -- space management (ADIOI_Cache_alloc) ----------------------------------
+    def allocate(self, offset: int, nbytes: int):
+        """Generator: reserve cache space via fallocate; ENOSPC propagates."""
+        yield from self.localfs.fallocate(self.local_file, offset, nbytes)
+
+    # -- the write path (called from ADIOI_GEN_WriteContig) ---------------------
+    def write_through_cache(self, offset: int, nbytes: int, data: Optional[np.ndarray]):
+        """Generator: write an extent into the cache file and create its
+        synchronisation request.  Returns the generalized request handle."""
+        stripes: tuple[int, ...] = ()
+        if self.policy.coherent:
+            layout = self.global_file.layout
+            held = []
+            for s in layout.stripes_covered(offset, nbytes):
+                if self._stripe_refs.get(s, 0) == 0:
+                    yield from self.machine.pfs.locks.acquire(
+                        self.global_file.file_id, s, exclusive=True
+                    )
+                self._stripe_refs[s] = self._stripe_refs.get(s, 0) + 1
+                held.append(s)
+            stripes = tuple(held)
+        try:
+            yield from self.localfs.write(self.local_file, offset, nbytes, data)
+        except ENOSPC:
+            # Undo coherent locks before propagating: the caller falls back
+            # to a direct global write.
+            for s in stripes:
+                self.release_stripe(s)
+            raise
+        self.cached.add(offset, offset + nbytes)
+        self.bytes_cached += nbytes
+        greq = GeneralizedRequest(self.machine.sim, meta={"offset": offset, "nbytes": nbytes})
+        request = SyncRequest(offset, nbytes, greq, stripes=stripes)
+        if self.policy.flush_never:
+            # Evaluation aid (TBW series): the data stays in the cache;
+            # complete the request so close never waits.  Coherent locks are
+            # released immediately — nothing will ever be persisted.
+            for s in stripes:
+                self.release_stripe(s)
+            greq.complete()
+            return greq
+        self.outstanding.append(greq)
+        if self.policy.flush_immediate:
+            self.sync_thread.submit(request)
+        else:
+            self.pending.append(request)
+        return greq
+
+    def release_stripe(self, stripe: int) -> None:
+        refs = self._stripe_refs.get(stripe, 0)
+        if refs <= 1:
+            self._stripe_refs.pop(stripe, None)
+            self.machine.pfs.locks.release(self.global_file.file_id, stripe, exclusive=True)
+        else:
+            self._stripe_refs[stripe] = refs - 1
+
+    # -- flush (ADIOI_GEN_Flush) --------------------------------------------------
+    def flush(self):
+        """Generator: submit any pending requests and wait for all to complete."""
+        while self.pending:
+            self.sync_thread.submit(self.pending.pop(0))
+        waiting, self.outstanding = self.outstanding, []
+        for greq in waiting:
+            yield from greq.wait()
+
+    @property
+    def sync_complete(self) -> bool:
+        return not self.pending and all(g.complete_now for g in self.outstanding)
+
+    # -- close ---------------------------------------------------------------------
+    def close(self):
+        """Generator: flush, stop the thread, discard the cache file if asked."""
+        yield from self.flush()
+        self.sync_thread.shutdown()
+        self.localfs.close(self.local_file)
+        if self.policy.discard_on_close:
+            if self.localfs.exists(self.local_file.path):
+                self.localfs.unlink(self.local_file.path)
+        self.closed = True

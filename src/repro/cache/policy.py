@@ -1,0 +1,36 @@
+"""Cache policy derived from the Table II hints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.romio.hints import Hints
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    enabled: bool
+    coherent: bool
+    flush_mode: str  # "flush_immediate" | "flush_onclose" | "flush_none"
+    discard_on_close: bool
+    cache_path: str
+    sync_chunk: int  # ind_wr_buffer_size
+
+    @property
+    def flush_immediate(self) -> bool:
+        return self.flush_mode == "flush_immediate"
+
+    @property
+    def flush_never(self) -> bool:
+        return self.flush_mode == "flush_none"
+
+    @classmethod
+    def from_hints(cls, hints: Hints) -> "CachePolicy":
+        return cls(
+            enabled=hints.cache_enabled,
+            coherent=hints.cache_coherent,
+            flush_mode=hints.e10_cache_flush_flag,
+            discard_on_close=hints.discard_on_close,
+            cache_path=hints.e10_cache_path,
+            sync_chunk=hints.ind_wr_buffer_size,
+        )

@@ -1,0 +1,93 @@
+"""The cache synchronisation thread (``ADIOI_Sync_thread_start``).
+
+One simulated POSIX thread per aggregator per cached file.  It consumes
+:class:`SyncRequest` work items from a FIFO queue: for each it reads the
+extent back from the cache file (SSD read, possibly served from the page
+cache) in ``ind_wr_buffer_size`` chunks and writes each chunk to the global
+file through the *synchronous* independent-write client path, then calls
+``MPI_Grequest_complete`` on the request's handle.
+
+``flush_batch_chunks`` (a simulation fidelity knob, not a semantic one)
+coalesces several chunks into one macro-operation whose cost is the sum of
+the per-chunk costs; 1 reproduces the implementation exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mpi.request import GeneralizedRequest
+from repro.sim.resources import Store
+
+
+@dataclass
+class SyncRequest:
+    """One cached extent awaiting synchronisation to the global file."""
+
+    offset: int
+    nbytes: int
+    grequest: GeneralizedRequest
+    stripes: tuple[int, ...] = ()  # stripes to unlock when persisted (coherent)
+
+    shutdown: bool = False
+
+
+_SHUTDOWN = SyncRequest(0, 0, None, shutdown=True)  # type: ignore[arg-type]
+
+
+class SyncThread:
+    """Background flusher bound to one aggregator's cache file."""
+
+    def __init__(self, machine, rank: int, cache_state, global_file, policy):
+        self.machine = machine
+        self.sim = machine.sim
+        self.rank = rank
+        self.cache_state = cache_state
+        self.global_file = global_file
+        self.policy = policy
+        self.queue = Store(self.sim, name=f"syncq.r{rank}")
+        self.client = machine.pfs_client(rank)
+        self.localfs = machine.local_fs_of_rank(rank)
+        self.bytes_synced = 0
+        self.requests_done = 0
+        self.busy_time = 0.0
+        self._proc = self.sim.process(self._run(), name=f"syncthread.r{rank}")
+
+    def submit(self, request: SyncRequest) -> None:
+        self.queue.put(request)
+
+    def shutdown(self) -> None:
+        self.queue.put(_SHUTDOWN)
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive
+
+    # -- the thread body ---------------------------------------------------------
+    def _run(self):
+        cfg = self.machine.config
+        chunk = self.policy.sync_chunk
+        batch_chunks = max(1, cfg.flush_batch_chunks)
+        while True:
+            req: SyncRequest = yield self.queue.get()
+            if req.shutdown:
+                return
+            t0 = self.sim.now
+            pos = req.offset
+            end = req.offset + req.nbytes
+            while pos < end:
+                blen = min(chunk * batch_chunks, end - pos)
+                nchunks = math.ceil(blen / chunk)
+                data = yield from self.localfs.read(self.cache_state.local_file, pos, blen)
+                yield from self.client.write_sync(
+                    self.global_file, pos, blen, data=data, rpc_count=nchunks
+                )
+                pos += blen
+            self.bytes_synced += req.nbytes
+            self.requests_done += 1
+            self.busy_time += self.sim.now - t0
+            for stripe in req.stripes:
+                self.cache_state.release_stripe(stripe)
+            req.grequest.complete()

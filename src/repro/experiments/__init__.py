@@ -1,0 +1,17 @@
+"""Experiment harness: sweep runner and figure/table regeneration."""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    default_scale,
+    run_experiment,
+    run_experiment_cached,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "default_scale",
+    "run_experiment",
+    "run_experiment_cached",
+]

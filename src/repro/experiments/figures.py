@@ -1,0 +1,138 @@
+"""Regeneration of every evaluation figure (paper Figs. 4–10).
+
+Each ``figN_*`` function runs (or reuses) the measurement points it needs
+and returns a plain data structure — config label → series → value — that
+:mod:`repro.experiments.report` renders as the ASCII equivalent of the
+paper's plot and that EXPERIMENTS.md records.
+
+Figure map (paper → here):
+
+* Fig. 4  — coll_perf perceived bandwidth (3 series)     → :func:`fig4_collperf_bandwidth`
+* Fig. 5  — coll_perf breakdown, cache enabled           → :func:`fig5_collperf_breakdown_cache`
+* Fig. 6  — coll_perf breakdown, cache disabled          → :func:`fig6_collperf_breakdown_nocache`
+* Fig. 7  — Flash-IO perceived bandwidth (3 series)      → :func:`fig7_flashio_bandwidth`
+* Fig. 8  — Flash-IO breakdown, cache enabled            → :func:`fig8_flashio_breakdown`
+* Fig. 9  — IOR perceived bandwidth incl. last sync      → :func:`fig9_ior_bandwidth`
+* Fig. 10 — IOR breakdown, cache enabled                 → :func:`fig10_ior_breakdown`
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_AGGREGATORS,
+    PAPER_CB_SIZES,
+    ExperimentSpec,
+    default_scale,
+    run_experiment_cached,
+)
+from repro.units import GiB, MiB
+
+# A reduced sweep that keeps the paper's corners and the 8-aggregator story;
+# the full 4×5 grid is used when REPRO_FULL_SWEEP=1 (see bench modules).
+QUICK_AGGREGATORS = (8, 16, 32, 64)
+QUICK_CB_SIZES = (4 * MiB, 16 * MiB, 64 * MiB)
+
+SERIES = ("BW Cache Disable", "BW Cache Enable", "TBW Cache Enable")
+_MODE_OF = {
+    "BW Cache Disable": "disabled",
+    "BW Cache Enable": "enabled",
+    "TBW Cache Enable": "theoretical",
+}
+
+
+def sweep_labels(aggregators: Sequence[int], cb_sizes: Sequence[int]) -> list[str]:
+    return [f"{a}_{cb // MiB}M" for a in aggregators for cb in cb_sizes]
+
+
+def _bandwidth_figure(
+    benchmark: str,
+    include_last: bool,
+    aggregators: Sequence[int],
+    cb_sizes: Sequence[int],
+    scale: Optional[float],
+) -> dict[str, dict[str, float]]:
+    scale = default_scale() if scale is None else scale
+    out: dict[str, dict[str, float]] = {}
+    for agg in aggregators:
+        for cb in cb_sizes:
+            label = f"{agg}_{cb // MiB}M"
+            row: dict[str, float] = {}
+            for series in SERIES:
+                spec = ExperimentSpec(
+                    benchmark,
+                    aggregators=agg,
+                    cb_buffer=cb,
+                    cache_mode=_MODE_OF[series],
+                    scale=scale,
+                )
+                result = run_experiment_cached(spec)
+                if series == "TBW Cache Enable":
+                    value = result.tbw
+                else:
+                    value = result.bw_incl_last if include_last else result.bw
+                row[series] = value / GiB
+            out[label] = row
+    return out
+
+
+def _breakdown_figure(
+    benchmark: str,
+    cache_mode: str,
+    aggregators: Sequence[int],
+    cb_sizes: Sequence[int],
+    scale: Optional[float],
+) -> dict[str, dict[str, float]]:
+    scale = default_scale() if scale is None else scale
+    out: dict[str, dict[str, float]] = {}
+    for agg in aggregators:
+        for cb in cb_sizes:
+            spec = ExperimentSpec(
+                benchmark,
+                aggregators=agg,
+                cb_buffer=cb,
+                cache_mode=cache_mode,
+                scale=scale,
+            )
+            result = run_experiment_cached(spec)
+            out[spec.label] = dict(result.breakdown)
+    return out
+
+
+# -- the seven figures -----------------------------------------------------------
+
+
+def fig4_collperf_bandwidth(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    """coll_perf perceived bandwidth; the last write phase is excluded
+    (paper Section IV-B)."""
+    return _bandwidth_figure("coll_perf", False, aggregators, cb_sizes, scale)
+
+
+def fig5_collperf_breakdown_cache(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    return _breakdown_figure("coll_perf", "enabled", aggregators, cb_sizes, scale)
+
+
+def fig6_collperf_breakdown_nocache(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    return _breakdown_figure("coll_perf", "disabled", aggregators, cb_sizes, scale)
+
+
+def fig7_flashio_bandwidth(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    return _bandwidth_figure("flash_io", False, aggregators, cb_sizes, scale)
+
+
+def fig8_flashio_breakdown(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    return _breakdown_figure("flash_io", "enabled", aggregators, cb_sizes, scale)
+
+
+def fig9_ior_bandwidth(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    """IOR perceived bandwidth *including* the last phase's non-hidden sync
+    (paper Section IV-D)."""
+    return _bandwidth_figure("ior", True, aggregators, cb_sizes, scale)
+
+
+def fig10_ior_breakdown(aggregators=QUICK_AGGREGATORS, cb_sizes=QUICK_CB_SIZES, scale=None):
+    return _breakdown_figure("ior", "enabled", aggregators, cb_sizes, scale)
+
+
+FULL_SWEEP = (PAPER_AGGREGATORS, PAPER_CB_SIZES)

@@ -1,0 +1,85 @@
+"""Post-run machine utilisation summaries.
+
+Collects, from a finished :class:`~repro.machine.Machine`, the counters the
+paper's discussion touches on: how much data moved over the fabric, how busy
+each storage tier was, lock contention, MDS load, and per-node SSD and
+memory-pressure figures.  The experiment harness attaches one of these to
+results on request, and the report module renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine import Machine
+from repro.units import fmt_bw, fmt_size
+
+
+@dataclass(frozen=True)
+class TierStats:
+    bytes_written: int
+    bytes_read: int
+    busy_time: float
+    requests: int
+
+
+@dataclass(frozen=True)
+class MachineStats:
+    sim_time: float
+    fabric_bytes: int
+    messages_sent: int
+    ssd: TierStats
+    pfs_targets: TierStats
+    server_rpcs: int
+    mds_ops: int
+    lock_acquires: int
+    lock_contended: int
+    peak_pinned: int
+    scratch_used: int
+    events: int
+
+    def summary(self) -> str:
+        lines = [
+            f"simulated time      {self.sim_time:.2f}s  ({self.events} events)",
+            f"fabric traffic      {fmt_size(self.fabric_bytes)}",
+            f"node SSDs           wrote {fmt_size(self.ssd.bytes_written)}, "
+            f"read {fmt_size(self.ssd.bytes_read)}, busy {self.ssd.busy_time:.1f}s",
+            f"PFS RAID targets    wrote {fmt_size(self.pfs_targets.bytes_written)}, "
+            f"busy {self.pfs_targets.busy_time:.1f}s over {self.server_rpcs} RPCs",
+            f"metadata server     {self.mds_ops} ops",
+            f"extent locks        {self.lock_acquires} acquires, "
+            f"{self.lock_contended} contended",
+            f"peak pinned memory  {fmt_size(self.peak_pinned)} on the busiest node",
+            f"scratch in use      {fmt_size(self.scratch_used)}",
+        ]
+        return "\n".join(lines)
+
+
+def collect(machine: Machine) -> MachineStats:
+    """Snapshot a machine's counters after a run."""
+    ssd = TierStats(
+        bytes_written=sum(n.ssd.bytes_written for n in machine.nodes),
+        bytes_read=sum(n.ssd.bytes_read for n in machine.nodes),
+        busy_time=sum(n.ssd.busy_time for n in machine.nodes),
+        requests=sum(n.ssd.requests_served for n in machine.nodes),
+    )
+    targets = TierStats(
+        bytes_written=sum(s.target.bytes_written for s in machine.pfs.servers),
+        bytes_read=sum(s.target.bytes_read for s in machine.pfs.servers),
+        busy_time=sum(s.target.busy_time for s in machine.pfs.servers),
+        requests=sum(s.target.requests_served for s in machine.pfs.servers),
+    )
+    return MachineStats(
+        sim_time=machine.now,
+        fabric_bytes=int(machine.fabric.bytes_moved),
+        messages_sent=0,  # transports are per-world; callers may overwrite
+        ssd=ssd,
+        pfs_targets=targets,
+        server_rpcs=sum(s.rpcs_served for s in machine.pfs.servers),
+        mds_ops=machine.pfs.mds.ops,
+        lock_acquires=machine.pfs.locks.acquires,
+        lock_contended=machine.pfs.locks.contended_acquires,
+        peak_pinned=max(n.peak_pinned_bytes for n in machine.nodes),
+        scratch_used=sum(fs.used for fs in machine.local_fs),
+        events=machine.sim.events_fired,
+    )

@@ -1,0 +1,6 @@
+"""Hardware models: storage devices and compute nodes."""
+
+from repro.hw.devices import HDDRaidDevice, SSDDevice, StorageDevice
+from repro.hw.node import ComputeNode
+
+__all__ = ["ComputeNode", "HDDRaidDevice", "SSDDevice", "StorageDevice"]

@@ -1,0 +1,122 @@
+"""Block-device service-time models.
+
+Devices are FIFO servers: requests queue and are served one at a time (the
+RAID group and the SSD both present a single logical stream at this
+granularity).  Service time models distinguish the two device classes the
+paper contrasts:
+
+* :class:`HDDRaidDevice` — a BeeGFS storage target (8+2 RAID6 of SAS
+  drives): a seek penalty is charged whenever a request is not sequential
+  with the previous one on this target, plus streaming time at the group
+  bandwidth.  Optional lognormal jitter reproduces the server-side
+  variability that makes one aggregator the straggler (the paper's global
+  synchronisation cost).
+
+* :class:`SSDDevice` — the node-local SATA SSD: constant per-request
+  latency plus streaming time; no seek term, no jitter worth modelling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+from repro.sim.rng import RngStreams
+
+
+class StorageDevice:
+    """Base: FIFO queue + subclass-provided service time."""
+
+    def __init__(self, sim: Simulator, name: str, capacity_bytes: int):
+        self.sim = sim
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self.queue = Resource(sim, capacity=1, name=f"dev:{name}")
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.requests_served = 0
+        self.busy_time = 0.0
+
+    # subclass hooks -----------------------------------------------------------
+    def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
+        raise NotImplementedError
+
+    # generator API --------------------------------------------------------------
+    def write(self, offset: int, nbytes: int):
+        """Process body: queue for the device, then hold it for the service time."""
+        yield from self._io(offset, nbytes, True)
+
+    def read(self, offset: int, nbytes: int):
+        yield from self._io(offset, nbytes, False)
+
+    def _io(self, offset: int, nbytes: int, is_write: bool):
+        yield self.queue.request()
+        try:
+            dt = self.service_time(offset, nbytes, is_write)
+            self.busy_time += dt
+            self.requests_served += 1
+            if is_write:
+                self.bytes_written += nbytes
+            else:
+                self.bytes_read += nbytes
+            yield self.sim.timeout(dt)
+        finally:
+            self.queue.release()
+
+
+class HDDRaidDevice(StorageDevice):
+    """One parallel-FS storage target: RAID6 group of spinning drives."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        stream_bw: float,
+        seek_time: float,
+        capacity_bytes: int,
+        sequential_seek_factor: float = 0.04,
+        jitter_sigma: float = 0.0,
+        rng: Optional[RngStreams] = None,
+    ):
+        super().__init__(sim, name, capacity_bytes)
+        self.stream_bw = float(stream_bw)
+        self.seek_time = float(seek_time)
+        self.sequential_seek_factor = float(sequential_seek_factor)
+        self.jitter_sigma = float(jitter_sigma)
+        self.rng = rng
+        self._head_pos: Optional[int] = None
+        self.seeks = 0
+
+    def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
+        sequential = self._head_pos is not None and offset == self._head_pos
+        seek = self.seek_time * (self.sequential_seek_factor if sequential else 1.0)
+        if not sequential:
+            self.seeks += 1
+        self._head_pos = offset + nbytes
+        base = seek + nbytes / self.stream_bw
+        if self.jitter_sigma > 0.0 and self.rng is not None:
+            base *= self.rng.lognormal_factor(f"{self.name}.jitter", self.jitter_sigma)
+        return base
+
+
+class SSDDevice(StorageDevice):
+    """Node-local SATA SSD: latency + streaming, direction-dependent bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        write_bw: float,
+        read_bw: float,
+        latency: float,
+        capacity_bytes: int,
+    ):
+        super().__init__(sim, name, capacity_bytes)
+        self.write_bw = float(write_bw)
+        self.read_bw = float(read_bw)
+        self.latency = float(latency)
+
+    def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
+        bw = self.write_bw if is_write else self.read_bw
+        return self.latency + nbytes / bw

@@ -1,0 +1,149 @@
+"""Compute node: cores, RAM with page-cache accounting, and the local SSD.
+
+The piece that matters for the paper is the node's *buffered write path*:
+collective-buffer-sized writes into the local ext4 scratch partition land in
+the page cache at memory-copy speed and are drained to the SSD by a
+writeback daemon, exactly like Linux dirty throttling.  A writer that would
+push dirty bytes past ``dirty_ratio * ram`` blocks until writeback catches
+up, so sustained over-capacity writes degrade to device speed — and short
+checkpoint bursts (the paper's workloads) complete at near-memory speed,
+which is where the 10–20× aggregate cache bandwidth comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ClusterConfig
+from repro.hw.devices import SSDDevice
+from repro.sim.core import Event, Simulator
+from repro.units import MiB
+
+
+class PageCache:
+    """Dirty-page ledger + writeback daemon for one node's scratch FS."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SSDDevice,
+        memcpy_bw: float,
+        dirty_limit: int,
+        writeback_chunk: int = 4 * MiB,
+    ):
+        self.sim = sim
+        self.device = device
+        self.memcpy_bw = float(memcpy_bw)
+        self.dirty_limit = int(dirty_limit)
+        self.writeback_chunk = int(writeback_chunk)
+        self.dirty = 0
+        self._dirty_by_file: dict[int, int] = {}
+        self._throttle_waiters: list[Event] = []
+        self._flush_waiters: list[tuple[int, Event]] = []  # (file_id, event)
+        self._daemon_running = False
+        self._wb_offset = 0
+
+    def buffered_write(self, file_id: int, nbytes: int):
+        """Generator: absorb ``nbytes`` into the page cache, throttling if full."""
+        remaining = int(nbytes)
+        while remaining > 0:
+            room = self.dirty_limit - self.dirty
+            if room <= 0:
+                ev = Event(self.sim, name="dirty-throttle")
+                self._throttle_waiters.append(ev)
+                yield ev
+                continue
+            chunk = min(remaining, room)
+            yield self.sim.timeout(chunk / self.memcpy_bw)
+            self.dirty += chunk
+            self._dirty_by_file[file_id] = self._dirty_by_file.get(file_id, 0) + chunk
+            remaining -= chunk
+            self._ensure_daemon()
+
+    def fsync(self, file_id: int):
+        """Generator: wait until this file has no dirty pages."""
+        if self._dirty_by_file.get(file_id, 0) <= 0:
+            return
+        ev = Event(self.sim, name=f"fsync:{file_id}")
+        self._flush_waiters.append((file_id, ev))
+        self._ensure_daemon()
+        yield ev
+
+    def dirty_of(self, file_id: int) -> int:
+        return self._dirty_by_file.get(file_id, 0)
+
+    # -- writeback -----------------------------------------------------------
+    def _ensure_daemon(self) -> None:
+        if not self._daemon_running and self.dirty > 0:
+            self._daemon_running = True
+            self.sim.process(self._writeback(), name="writeback")
+
+    def _writeback(self):
+        while self.dirty > 0:
+            # Pick the file with the most dirty pages (approximates Linux's
+            # per-inode round robin; exactness does not matter for timing).
+            file_id = max(self._dirty_by_file, key=self._dirty_by_file.get)
+            chunk = min(self.writeback_chunk, self._dirty_by_file[file_id])
+            yield from self.device.write(self._wb_offset, chunk)
+            self._wb_offset += chunk
+            self.dirty -= chunk
+            left = self._dirty_by_file[file_id] - chunk
+            if left > 0:
+                self._dirty_by_file[file_id] = left
+            else:
+                del self._dirty_by_file[file_id]
+            self._wake_waiters()
+        self._daemon_running = False
+
+    def _wake_waiters(self) -> None:
+        if self.dirty < self.dirty_limit and self._throttle_waiters:
+            waiters, self._throttle_waiters = self._throttle_waiters, []
+            for ev in waiters:
+                ev.succeed()
+        if self._flush_waiters:
+            still = []
+            for file_id, ev in self._flush_waiters:
+                if self._dirty_by_file.get(file_id, 0) <= 0:
+                    ev.succeed()
+                else:
+                    still.append((file_id, ev))
+            self._flush_waiters = still
+
+
+class ComputeNode:
+    """One cluster node: id, local SSD, page cache, memory accounting."""
+
+    def __init__(self, sim: Simulator, node_id: int, config: ClusterConfig):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.ssd = SSDDevice(
+            sim,
+            name=f"ssd{node_id}",
+            write_bw=config.ssd.write_bw,
+            read_bw=config.ssd.read_bw,
+            latency=config.ssd.latency,
+            capacity_bytes=config.ssd.capacity,
+        )
+        self.page_cache = PageCache(
+            sim,
+            self.ssd,
+            memcpy_bw=config.ram.memcpy_bw,
+            dirty_limit=int(config.ram.dirty_ratio * config.ram.capacity),
+        )
+        # Collective-buffer memory accounting (the paper's memory-pressure
+        # discussion): peak bytes pinned by ROMIO on this node.
+        self.pinned_bytes = 0
+        self.peak_pinned_bytes = 0
+
+    def pin_memory(self, nbytes: int) -> None:
+        self.pinned_bytes += nbytes
+        if self.pinned_bytes > self.peak_pinned_bytes:
+            self.peak_pinned_bytes = self.pinned_bytes
+
+    def unpin_memory(self, nbytes: int) -> None:
+        self.pinned_bytes = max(0, self.pinned_bytes - nbytes)
+
+    def memcpy(self, nbytes: int):
+        """Generator: charge a memory copy of ``nbytes``."""
+        yield self.sim.timeout(nbytes / self.config.ram.memcpy_bw)

@@ -1,0 +1,140 @@
+"""Half-open integer interval sets.
+
+Used wherever the reproduction tracks byte coverage: which extents of a
+cache file hold dirty data, which parts of the global file have been
+persisted by the sync thread, and which holes remain.  Intervals are
+``[start, end)`` pairs kept sorted and coalesced.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+
+class IntervalSet:
+    """A sorted, coalesced set of half-open ``[start, end)`` intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()):
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for start, end in intervals:
+            self.add(start, end)
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging any overlapping/adjacent runs."""
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if end == start:
+            return
+        starts, ends = self._starts, self._ends
+        # Runs that touch [start, end): first with end >= start, last with start <= end.
+        lo = bisect_left(ends, start)
+        hi = bisect_right(starts, end)
+        if lo < hi:  # merge with runs lo..hi-1
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+            del starts[lo:hi]
+            del ends[lo:hi]
+        starts.insert(lo, start)
+        ends.insert(lo, end)
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete ``[start, end)`` from the set (splitting runs as needed)."""
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if end == start:
+            return
+        starts, ends = self._starts, self._ends
+        lo = bisect_right(ends, start)
+        hi = bisect_left(starts, end)
+        if lo >= hi:
+            return
+        keep: list[tuple[int, int]] = []
+        if starts[lo] < start:
+            keep.append((starts[lo], start))
+        if ends[hi - 1] > end:
+            keep.append((end, ends[hi - 1]))
+        del starts[lo:hi]
+        del ends[lo:hi]
+        for idx, (s, e) in enumerate(keep):
+            starts.insert(lo + idx, s)
+            ends.insert(lo + idx, e)
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    # -- queries ---------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:
+        runs = ", ".join(f"[{s},{e})" for s, e in self)
+        return f"IntervalSet({runs})"
+
+    @property
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in self)
+
+    def covers(self, start: int, end: int) -> bool:
+        """Is ``[start, end)`` fully contained?"""
+        if end <= start:
+            return True
+        idx = bisect_right(self._starts, start) - 1
+        return idx >= 0 and self._ends[idx] >= end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        if end <= start:
+            return False
+        lo = bisect_right(self._ends, start)
+        return lo < len(self._starts) and self._starts[lo] < end
+
+    def intersect(self, start: int, end: int) -> "IntervalSet":
+        out = IntervalSet()
+        lo = bisect_right(self._ends, start)
+        for i in range(lo, len(self._starts)):
+            s, e = self._starts[i], self._ends[i]
+            if s >= end:
+                break
+            out.add(max(s, start), min(e, end))
+        return out
+
+    def gaps(self, start: int, end: int) -> "IntervalSet":
+        """The complement of the set within ``[start, end)``."""
+        out = IntervalSet()
+        pos = start
+        for s, e in self:
+            if e <= start:
+                continue
+            if s >= end:
+                break
+            if s > pos:
+                out.add(pos, min(s, end))
+            pos = max(pos, e)
+            if pos >= end:
+                break
+        if pos < end:
+            out.add(pos, end)
+        return out
+
+    def copy(self) -> "IntervalSet":
+        new = IntervalSet()
+        new._starts = list(self._starts)
+        new._ends = list(self._ends)
+        return new

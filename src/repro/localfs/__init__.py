@@ -1,0 +1,5 @@
+"""Node-local ext4-like file system on the scratch SSD partition."""
+
+from repro.localfs.ext4 import LocalFile, LocalFileSystem
+
+__all__ = ["LocalFile", "LocalFileSystem"]

@@ -1,0 +1,192 @@
+"""The node-local scratch file system (``/scratch`` in the paper).
+
+Models exactly what the E10 cache layer needs from ext4:
+
+* a namespace (create/open/unlink) with capacity accounting against the
+  30 GB partition,
+* ``fallocate`` — instant extent reservation (the fast path
+  ``ADIOI_Cache_alloc`` relies on) versus ``write_zeros`` fallback for file
+  systems without it (charged at device speed, reproducing footnote 2 of
+  the paper),
+* buffered writes through the node's page cache with dirty throttling,
+* reads at SSD read speed (the sync thread's read-back path), and
+* ``fsync`` draining dirty pages.
+
+Data contents are stored sparsely per file as ``(offset, ndarray)`` extents
+when real payloads are supplied, so tests can verify cache-file contents
+byte-for-byte; virtual (payload-free) writes only account sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.node import ComputeNode
+from repro.intervals import IntervalSet
+from repro.sim.core import SimError
+
+
+class ENOSPC(OSError):
+    """Local partition out of space."""
+
+
+class LocalFile:
+    """An open file on the local FS."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, fs: "LocalFileSystem", path: str):
+        self.fs = fs
+        self.path = path
+        self.file_id = next(LocalFile._ids)
+        self.size = 0
+        # Space is charged per covered byte range (files may be sparse: the
+        # E10 cache stores extents at their global-file offsets).
+        self.space = IntervalSet()
+        # Verification extents in write order (overlaps overlay temporally).
+        self.extents: list[tuple[int, np.ndarray]] = []
+        self.open_count = 1
+        self.unlinked = False
+
+    @property
+    def allocated(self) -> int:
+        return self.space.total
+
+    def data_image(self) -> np.ndarray:
+        """Materialise the file contents (zero-filled holes) — test helper."""
+        img = np.zeros(self.size, dtype=np.uint8)
+        for off, arr in self.extents:
+            img[off : off + len(arr)] = arr
+        return img
+
+
+class LocalFileSystem:
+    """One node's scratch FS: namespace + capacity + timed I/O paths."""
+
+    def __init__(self, node: ComputeNode, supports_fallocate: bool = True):
+        self.node = node
+        self.sim = node.sim
+        self.supports_fallocate = supports_fallocate
+        self.capacity = node.ssd.capacity_bytes
+        self.used = 0
+        self._files: dict[str, LocalFile] = {}
+
+    # -- namespace -------------------------------------------------------------
+    def open(self, path: str, create: bool = True) -> LocalFile:
+        f = self._files.get(path)
+        if f is None:
+            if not create:
+                raise FileNotFoundError(path)
+            f = LocalFile(self, path)
+            self._files[path] = f
+        else:
+            f.open_count += 1
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def close(self, f: LocalFile) -> None:
+        f.open_count -= 1
+        if f.open_count <= 0 and f.unlinked:
+            self._reclaim(f)
+
+    def unlink(self, path: str) -> None:
+        f = self._files.get(path)
+        if f is None:
+            raise FileNotFoundError(path)
+        f.unlinked = True
+        del self._files[path]
+        if f.open_count <= 0:
+            self._reclaim(f)
+
+    def _reclaim(self, f: LocalFile) -> None:
+        self.used -= f.space.total
+        f.space.clear()
+        f.extents.clear()
+
+    # -- allocation ---------------------------------------------------------------
+    def fallocate(self, f: LocalFile, offset: int, nbytes: int):
+        """Generator: reserve ``[offset, offset+nbytes)``.  Instant when
+        supported; otherwise the implementation 'physically writes zeros to
+        the file' (paper, footnote 2).
+        """
+        grow = self._charge_range(f, offset, offset + nbytes)
+        if grow == 0:
+            return
+        if self.supports_fallocate:
+            yield self.sim.timeout(50e-6)  # one syscall + extent-tree update
+        else:
+            yield from self.node.ssd.write(offset, grow)
+        f.size = max(f.size, offset + nbytes)
+
+    def _charge_range(self, f: LocalFile, start: int, end: int) -> int:
+        """Charge the uncovered part of ``[start, end)``; returns new bytes."""
+        grow = f.space.gaps(start, end).total
+        if grow == 0:
+            return 0
+        if self.used + grow > self.capacity:
+            raise ENOSPC(
+                f"scratch partition full on node {self.node.node_id}: "
+                f"{self.used + grow} > {self.capacity}"
+            )
+        self.used += grow
+        f.space.add(start, end)
+        return grow
+
+    # -- I/O -------------------------------------------------------------------
+    def write(self, f: LocalFile, offset: int, nbytes: int, data: Optional[np.ndarray] = None):
+        """Generator: buffered write (page cache, dirty throttling)."""
+        if nbytes < 0:
+            raise SimError("negative write size")
+        end = offset + nbytes
+        self._charge_range(f, offset, end)
+        if data is not None:
+            arr = np.asarray(data, dtype=np.uint8)
+            if len(arr) != nbytes:
+                raise SimError(f"payload length {len(arr)} != nbytes {nbytes}")
+            f.extents.append((offset, arr.copy()))
+        f.size = max(f.size, end)
+        yield from self.node.page_cache.buffered_write(f.file_id, nbytes)
+
+    def read(self, f: LocalFile, offset: int, nbytes: int):
+        """Generator returning the requested bytes (None for virtual files).
+
+        Dirty pages still in the page cache are served at memory speed; the
+        remainder comes off the SSD.  The split is approximated by the
+        file's current dirty fraction, which is exact for the sync thread's
+        sequential read-back.
+        """
+        if offset + nbytes > f.size and not f.extents and f.size == 0:
+            raise SimError(f"read past EOF of empty file {f.path}")
+        dirty = self.node.page_cache.dirty_of(f.file_id)
+        frac_cached = min(1.0, dirty / max(1, f.space.total or f.size))
+        cached = int(nbytes * frac_cached)
+        uncached = nbytes - cached
+        if cached:
+            yield self.sim.timeout(cached / self.node.config.ram.memcpy_bw)
+        if uncached:
+            yield from self.node.ssd.read(offset + cached, uncached)
+        return self._gather(f, offset, nbytes)
+
+    def fsync(self, f: LocalFile):
+        yield from self.node.page_cache.fsync(f.file_id)
+
+    # -- data assembly (verification support) ------------------------------------
+    def _gather(self, f: LocalFile, offset: int, nbytes: int) -> Optional[np.ndarray]:
+        if not f.extents:
+            return None
+        out = np.zeros(nbytes, dtype=np.uint8)
+        end = offset + nbytes
+        hit = False
+        for ext_off, arr in f.extents:
+            ext_end = ext_off + len(arr)
+            lo = max(offset, ext_off)
+            hi = min(end, ext_end)
+            if lo < hi:
+                out[lo - offset : hi - offset] = arr[lo - ext_off : hi - ext_off]
+                hit = True
+        return out if hit else None

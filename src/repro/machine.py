@@ -1,0 +1,57 @@
+"""The simulated cluster: one object wiring every substrate together.
+
+A :class:`Machine` owns the event kernel, the RNG streams, the interconnect
+fabric (compute nodes + PFS servers as endpoints), the compute nodes (each
+with its SSD, page cache and local scratch FS) and the global parallel file
+system.  Experiments construct a Machine from a
+:class:`~repro.config.ClusterConfig`, then an :class:`~repro.mpi.MPIWorld`
+on top, then run rank bodies.
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig
+from repro.hw.node import ComputeNode
+from repro.localfs.ext4 import LocalFileSystem
+from repro.net.fabric import Fabric
+from repro.pfs.client import PFSClient
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+
+class Machine:
+    def __init__(self, config: ClusterConfig, trace: bool = False):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngStreams(config.seed)
+        self.tracer = Tracer(enabled=trace)
+        endpoints = ParallelFileSystem.fabric_endpoints(config)
+        self.fabric = Fabric(
+            self.sim,
+            num_nodes=endpoints,
+            nic_bw=config.network.nic_bw,
+            latency=config.network.latency,
+            loopback_bw=config.network.shm_bw,
+        )
+        self.nodes = [ComputeNode(self.sim, n, config) for n in range(config.num_nodes)]
+        self.local_fs = [LocalFileSystem(node) for node in self.nodes]
+        self.pfs = ParallelFileSystem(self.sim, config, self.fabric, self.rng)
+        self._clients: dict[int, PFSClient] = {}
+
+    def pfs_client(self, rank: int) -> PFSClient:
+        """The (lazily created, cached) PFS client for a rank."""
+        client = self._clients.get(rank)
+        if client is None:
+            node_id = rank // self.config.procs_per_node
+            client = PFSClient(self.pfs, node_id, name=f"client.r{rank}")
+            self._clients[rank] = client
+        return client
+
+    def local_fs_of_rank(self, rank: int) -> LocalFileSystem:
+        return self.local_fs[rank // self.config.procs_per_node]
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,364 @@
+"""Collective operations.
+
+Two interchangeable engines:
+
+* :class:`ModelCollectives` — arrival-synchronised cost models.  Every rank
+  entering its *n*-th collective joins slot *n*; when the last rank arrives,
+  the slot computes the result and a LogGP-style duration, then releases all
+  ranks together.  This preserves the property the paper's analysis hinges
+  on — a collective costs each rank ``(t_last_arrival - t_my_arrival) +
+  t_algorithm`` — while firing O(P) events per collective instead of
+  O(P log P) messages.
+
+* :class:`AlgorithmicCollectives` — the real message-passing algorithms
+  (binomial bcast, recursive-doubling allreduce/barrier, pairwise-exchange
+  alltoall) over the point-to-point transport.  Used at small scale to
+  validate that the model engine's results and orderings are faithful.
+
+Both return identical values; tests assert it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.message import Transport
+from repro.sim.core import Event, SimError, Simulator
+
+Op = Callable[[Any, Any], Any]
+
+
+def op_sum(a, b):
+    return a + b
+
+
+def op_max(a, b):
+    return a if a >= b else b
+
+
+def op_min(a, b):
+    return a if a <= b else b
+
+
+def op_band(a, b):
+    return a & b
+
+
+def op_bor(a, b):
+    return a | b
+
+
+@dataclass
+class CollectiveCosts:
+    """Calibrated latency/bandwidth parameters for the model engine."""
+
+    alpha: float  # per-stage latency (seconds)
+    beta_inv: float  # per-byte time on the NIC (1 / bandwidth)
+    per_message: float  # CPU cost to post/match one message
+    procs_per_node: int = 1
+    shm_beta_inv: float = 0.0  # per-byte time of intra-node shared-memory moves
+
+    def stages(self, nprocs: int) -> int:
+        return max(1, math.ceil(math.log2(max(2, nprocs))))
+
+    def latency_bound(self, nprocs: int) -> float:
+        return self.alpha * self.stages(nprocs)
+
+    def small_collective(self, nprocs: int, nbytes: int = 8) -> float:
+        """Barrier / scalar allreduce: 2·log2(P) latency stages."""
+        return 2 * self.latency_bound(nprocs) + nbytes * self.beta_inv * self.stages(nprocs)
+
+    def alltoall(self, nprocs: int, per_pair_bytes: float) -> float:
+        """Pairwise exchange: P-1 rounds; per-node traffic shares the NIC."""
+        fan = max(1, nprocs - 1)
+        node_bytes = per_pair_bytes * fan * self.procs_per_node
+        return (
+            self.latency_bound(nprocs)
+            + fan * self.per_message
+            + node_bytes * self.beta_inv
+        )
+
+    def shuffle(self, out_bytes_per_node: dict[int, float], in_bytes_per_node: dict[int, float], max_msgs: int) -> float:
+        """Bulk data exchange bounded by the hottest NIC in either direction."""
+        hot_out = max(out_bytes_per_node.values(), default=0.0)
+        hot_in = max(in_bytes_per_node.values(), default=0.0)
+        return (
+            self.alpha
+            + max(hot_out, hot_in) * self.beta_inv
+            + max_msgs * self.per_message
+        )
+
+
+@dataclass
+class _Slot:
+    op_name: str = ""
+    arrivals: dict[int, Any] = field(default_factory=dict)
+    arrival_times: dict[int, float] = field(default_factory=dict)
+    release: dict[int, Event] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class ModelCollectives:
+    """Arrival-synchronised collectives with analytic durations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nprocs: int,
+        costs: CollectiveCosts,
+        rank_to_node: Optional[list[int]] = None,
+    ):
+        self.sim = sim
+        self.nprocs = nprocs
+        self.costs = costs
+        self.rank_to_node = rank_to_node or list(range(nprocs))
+        self._slot_index = [0] * nprocs
+        self._slots: dict[int, _Slot] = {}
+        self.invocations = 0
+
+    def enter(self, rank: int, op_name: str, value: Any = None, **extra):
+        """Generator: join this rank's next collective slot and wait for release."""
+        idx = self._slot_index[rank]
+        self._slot_index[rank] += 1
+        slot = self._slots.get(idx)
+        if slot is None:
+            slot = self._slots[idx] = _Slot(op_name=op_name)
+        if slot.op_name != op_name:
+            raise SimError(
+                f"collective mismatch at slot {idx}: rank {rank} called "
+                f"{op_name!r} but others called {slot.op_name!r}"
+            )
+        ev = Event(self.sim, name=f"coll:{op_name}[{idx}]r{rank}")
+        slot.arrivals[rank] = value
+        slot.arrival_times[rank] = self.sim.now
+        slot.release[rank] = ev
+        for key, val in extra.items():
+            slot.extra.setdefault(key, {})[rank] = val
+        if len(slot.arrivals) == self.nprocs:
+            self._complete(idx, slot)
+        result = yield ev
+        return result
+
+    # individual operations -------------------------------------------------
+    def barrier(self, rank: int):
+        result = yield from self.enter(rank, "barrier")
+        return result
+
+    def allreduce(self, rank: int, value: Any, op: Op = op_sum, nbytes: int = 8):
+        result = yield from self.enter(rank, "allreduce", value, op={rank: None}, reduce_op=op, nbytes=nbytes)
+        return result
+
+    def allgather(self, rank: int, value: Any, nbytes: int = 8):
+        result = yield from self.enter(rank, "allgather", value, nbytes=nbytes)
+        return result
+
+    def alltoall(self, rank: int, values: list[Any], per_pair_bytes: int = 16):
+        if len(values) != self.nprocs:
+            raise SimError(f"alltoall needs {self.nprocs} values, got {len(values)}")
+        result = yield from self.enter(rank, "alltoall", values, nbytes=per_pair_bytes)
+        return result
+
+    def bcast(self, rank: int, value: Any, root: int = 0, nbytes: int = 8):
+        result = yield from self.enter(rank, "bcast", (value if rank == root else None), root=root, nbytes=nbytes)
+        return result
+
+    def shuffle(self, rank: int, out_bytes: dict[int, float], msg_count: int = 0):
+        """The ext2ph data exchange as a pseudo-collective.
+
+        ``out_bytes`` maps destination rank -> bytes this rank sends there.
+        Returns the per-rank inbound byte total (what this rank received).
+        """
+        result = yield from self.enter(rank, "shuffle", out_bytes, msgs=msg_count)
+        return result
+
+    def timed(self, rank: int, duration: float, label: str = "timed"):
+        """A pre-costed synchronisation: all ranks arrive, all are released
+        ``max(duration)`` after the last arrival.  Used when the exchange
+        cost has been computed centrally (vectorised over rounds)."""
+        result = yield from self.enter(rank, f"timed:{label}", duration)
+        return result
+
+    # completion -------------------------------------------------------------
+    def _complete(self, idx: int, slot: _Slot) -> None:
+        self.invocations += 1
+        op = slot.op_name
+        costs = self.costs
+        if op == "barrier":
+            duration = costs.small_collective(self.nprocs)
+            results = {r: None for r in slot.arrivals}
+        elif op == "allreduce":
+            reduce_op: Op = next(iter(slot.extra["reduce_op"].values()))
+            nbytes = next(iter(slot.extra["nbytes"].values()))
+            acc = None
+            for r in range(self.nprocs):
+                v = slot.arrivals[r]
+                acc = v if acc is None else reduce_op(acc, v)
+            duration = costs.small_collective(self.nprocs, nbytes)
+            results = {r: acc for r in slot.arrivals}
+        elif op == "allgather":
+            gathered = [slot.arrivals[r] for r in range(self.nprocs)]
+            nbytes = next(iter(slot.extra["nbytes"].values()))
+            duration = costs.small_collective(self.nprocs, nbytes * self.nprocs)
+            results = {r: list(gathered) for r in slot.arrivals}
+        elif op == "alltoall":
+            nbytes = next(iter(slot.extra["nbytes"].values()))
+            results = {
+                r: [slot.arrivals[s][r] for s in range(self.nprocs)]
+                for r in slot.arrivals
+            }
+            duration = costs.alltoall(self.nprocs, nbytes)
+        elif op == "bcast":
+            roots = slot.extra["root"]
+            root = next(iter(roots.values()))
+            nbytes = next(iter(slot.extra["nbytes"].values()))
+            value = slot.arrivals[root]
+            duration = costs.latency_bound(self.nprocs) + nbytes * costs.beta_inv
+            results = {r: value for r in slot.arrivals}
+        elif op.startswith("timed:"):
+            duration = max(float(v) for v in slot.arrivals.values())
+            results = {r: None for r in slot.arrivals}
+        elif op == "shuffle":
+            out_node: dict[int, float] = {}
+            in_node: dict[int, float] = {}
+            in_rank = {r: 0.0 for r in slot.arrivals}
+            msg_total = 0
+            for src, outs in slot.arrivals.items():
+                src_node = self.rank_to_node[src]
+                for dst, nb in outs.items():
+                    in_rank[dst] += nb
+                    dst_node = self.rank_to_node[dst]
+                    if dst_node != src_node:
+                        out_node[src_node] = out_node.get(src_node, 0.0) + nb
+                        in_node[dst_node] = in_node.get(dst_node, 0.0) + nb
+                    msg_total += 1 if nb > 0 else 0
+            per_rank_msgs = slot.extra.get("msgs", {})
+            max_msgs = max(per_rank_msgs.values(), default=0) or max(
+                (len([b for b in outs.values() if b > 0]) for outs in slot.arrivals.values()),
+                default=0,
+            )
+            duration = costs.shuffle(out_node, in_node, max_msgs)
+            results = in_rank
+        else:  # pragma: no cover - guarded by enter()
+            raise SimError(f"unknown collective {op!r}")
+        for r, ev in slot.release.items():
+            ev.succeed(results[r], delay=duration)
+        del self._slots[idx]
+
+
+class AlgorithmicCollectives:
+    """Real message-passing collective algorithms over the transport.
+
+    Only usable from inside rank processes; each operation is a generator.
+    Tags are drawn from a reserved high range so they never collide with
+    application traffic.
+    """
+
+    TAG_BASE = 1 << 24
+
+    def __init__(self, sim: Simulator, transport: Transport, nprocs: int, payload_nbytes: Callable[[Any], int] = None):
+        self.sim = sim
+        self.transport = transport
+        self.nprocs = nprocs
+        self._epoch = [0] * nprocs
+        self.payload_nbytes = payload_nbytes or (lambda v: 16)
+
+    def _tag(self, rank: int, phase: int) -> int:
+        # Per-collective-epoch, per-phase tag; epoch advances per call site.
+        # 16 bits of phase space keeps pairwise alltoall steps collision-free
+        # up to 64k ranks.
+        return self.TAG_BASE + (self._epoch[rank] << 16) + phase
+
+    def barrier(self, rank: int):
+        yield from self.allreduce(rank, 0, op_sum)
+
+    def allreduce(self, rank: int, value: Any, op: Op = op_sum):
+        """Recursive doubling (power-of-two ranks fold the remainder first)."""
+        n = self.nprocs
+        epoch_tag = self._tag(rank, 0)
+        self._epoch[rank] += 1
+        pof2 = 1 << (n.bit_length() - 1) if n & (n - 1) else n
+        rem = n - pof2
+        acc = value
+        newrank = rank
+        if rank < 2 * rem:
+            if rank % 2 == 0:  # even ranks in the remainder send and sit out
+                yield self.transport.send(rank, rank + 1, epoch_tag, acc, self.payload_nbytes(acc))
+                msg = yield self.transport.post_recv(rank, rank + 1, epoch_tag + 1)
+                return msg.payload
+            else:
+                msg = yield self.transport.post_recv(rank, rank - 1, epoch_tag)
+                acc = op(msg.payload, acc)
+                newrank = rank // 2
+        else:
+            newrank = rank - rem
+        mask = 1
+        while mask < pof2:
+            peer_new = newrank ^ mask
+            peer = peer_new * 2 + 1 if peer_new < rem else peer_new + rem
+            send_ev = self.transport.send(rank, peer, epoch_tag, acc, self.payload_nbytes(acc))
+            recv_ev = self.transport.post_recv(rank, peer, epoch_tag)
+            yield self.sim.all_of([send_ev, recv_ev])
+            other = recv_ev.value.payload
+            # commutative-op ordering: lower rank contributes first
+            acc = op(other, acc) if peer < rank else op(acc, other)
+            mask <<= 1
+        if rank < 2 * rem and rank % 2 == 1:
+            yield self.transport.send(rank, rank - 1, epoch_tag + 1, acc, self.payload_nbytes(acc))
+        return acc
+
+    def bcast(self, rank: int, value: Any, root: int = 0):
+        """Binomial tree broadcast (the MPICH schedule)."""
+        n = self.nprocs
+        tag = self._tag(rank, 2)
+        self._epoch[rank] += 1
+        vrank = (rank - root) % n
+        got = value if rank == root else None
+        # Climb the mask until our set bit is found: that is our parent edge.
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                parent = ((vrank - mask) + root) % n
+                msg = yield self.transport.post_recv(rank, parent, tag)
+                got = msg.payload
+                break
+            mask <<= 1
+        # Descend, forwarding to children below our edge.
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < n:
+                child = ((vrank + mask) + root) % n
+                yield self.transport.send(rank, child, tag, got, self.payload_nbytes(got))
+            mask >>= 1
+        return got
+
+    def alltoall(self, rank: int, values: list[Any]):
+        """Pairwise exchange (XOR schedule for power-of-two, ring otherwise)."""
+        n = self.nprocs
+        tag = self._tag(rank, 3)
+        self._epoch[rank] += 1
+        if len(values) != n:
+            raise SimError(f"alltoall needs {n} values")
+        result: list[Any] = [None] * n
+        result[rank] = values[rank]
+        for step in range(1, n):
+            if n & (n - 1) == 0:
+                peer = rank ^ step
+            else:
+                peer = (rank + step) % n
+                # ring schedule: receive from (rank - step) % n
+            if n & (n - 1) == 0:
+                send_to = recv_from = peer
+            else:
+                send_to = (rank + step) % n
+                recv_from = (rank - step) % n
+            send_ev = self.transport.send(rank, send_to, tag + step, values[send_to], self.payload_nbytes(values[send_to]))
+            recv_ev = self.transport.post_recv(rank, recv_from, tag + step)
+            yield self.sim.all_of([send_ev, recv_ev])
+            result[recv_from] = recv_ev.value.payload
+        return result
+
+    def allgather(self, rank: int, value: Any):
+        vals = yield from self.alltoall(rank, [value] * self.nprocs)
+        return vals

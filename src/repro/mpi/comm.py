@@ -1,0 +1,127 @@
+"""The communicator: point-to-point plus collectives behind one object.
+
+A :class:`Communicator` binds the transport, a collective engine, and the
+rank-to-node map.  All blocking calls are generators (``yield from``); the
+nonblocking ones return :class:`~repro.mpi.request.Request` handles
+compatible with :func:`~repro.mpi.request.waitall`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.mpi import request as req_mod
+from repro.mpi.collectives import (
+    AlgorithmicCollectives,
+    CollectiveCosts,
+    ModelCollectives,
+    Op,
+    op_sum,
+)
+from repro.mpi.request import GeneralizedRequest, Request
+from repro.net.message import ANY_SOURCE, ANY_TAG, Transport
+from repro.sim.core import SimError, Simulator
+
+
+class Communicator:
+    """An MPI communicator over ``nprocs`` simulated ranks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        nprocs: int,
+        costs: CollectiveCosts,
+        collective_mode: str = "model",
+        payload_nbytes: Optional[Callable[[Any], int]] = None,
+    ):
+        if collective_mode not in ("model", "algorithmic"):
+            raise SimError(f"unknown collective mode {collective_mode!r}")
+        self.sim = sim
+        self.transport = transport
+        self.nprocs = nprocs
+        self.collective_mode = collective_mode
+        self.rank_to_node = transport.rank_to_node
+        self._model = ModelCollectives(sim, nprocs, costs, transport.rank_to_node)
+        self._algo = AlgorithmicCollectives(sim, transport, nprocs, payload_nbytes)
+
+    @property
+    def size(self) -> int:
+        return self.nprocs
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    # -- point to point -------------------------------------------------------
+    def isend(self, source: int, dest: int, tag: int, payload: Any, nbytes: int) -> Request:
+        if not (0 <= dest < self.nprocs):
+            raise SimError(f"isend to invalid rank {dest}")
+        ev = self.transport.send(source, dest, tag, payload, nbytes)
+        return Request(ev, kind="isend", meta={"dest": dest, "tag": tag, "nbytes": nbytes})
+
+    def irecv(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        ev = self.transport.post_recv(rank, source, tag)
+        return Request(ev, kind="irecv", meta={"source": source, "tag": tag})
+
+    def send(self, source: int, dest: int, tag: int, payload: Any, nbytes: int):
+        yield self.transport.send(source, dest, tag, payload, nbytes)
+
+    def recv(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        msg = yield self.transport.post_recv(rank, source, tag)
+        return msg
+
+    def waitall(self, requests: list[Request]):
+        out = yield from req_mod.waitall(self.sim, requests)
+        return out
+
+    def grequest_start(self, meta: Optional[dict] = None) -> GeneralizedRequest:
+        return GeneralizedRequest(self.sim, meta=meta)
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self, rank: int):
+        if self.collective_mode == "model":
+            yield from self._model.barrier(rank)
+        else:
+            yield from self._algo.barrier(rank)
+
+    def allreduce(self, rank: int, value: Any, op: Op = op_sum, nbytes: int = 8):
+        if self.collective_mode == "model":
+            result = yield from self._model.allreduce(rank, value, op, nbytes)
+        else:
+            result = yield from self._algo.allreduce(rank, value, op)
+        return result
+
+    def allgather(self, rank: int, value: Any, nbytes: int = 8):
+        if self.collective_mode == "model":
+            result = yield from self._model.allgather(rank, value, nbytes)
+        else:
+            result = yield from self._algo.allgather(rank, value)
+        return result
+
+    def alltoall(self, rank: int, values: list[Any], per_pair_bytes: int = 16):
+        if self.collective_mode == "model":
+            result = yield from self._model.alltoall(rank, values, per_pair_bytes)
+        else:
+            result = yield from self._algo.alltoall(rank, values)
+        return result
+
+    def bcast(self, rank: int, value: Any, root: int = 0, nbytes: int = 8):
+        if self.collective_mode == "model":
+            result = yield from self._model.bcast(rank, value, root, nbytes)
+        else:
+            result = yield from self._algo.bcast(rank, value, root)
+        return result
+
+    def shuffle(self, rank: int, out_bytes: dict[int, float], msg_count: int = 0):
+        """Model-engine bulk exchange used by ext2ph's aggregated-flow mode."""
+        result = yield from self._model.shuffle(rank, out_bytes, msg_count)
+        return result
+
+    def timed(self, rank: int, duration: float, label: str = "timed"):
+        """Pre-costed synchronisation point (see ModelCollectives.timed)."""
+        result = yield from self._model.timed(rank, duration, label)
+        return result
+
+    @property
+    def costs(self) -> CollectiveCosts:
+        return self._model.costs

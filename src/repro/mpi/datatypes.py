@@ -1,0 +1,213 @@
+"""MPI derived datatypes for file views.
+
+Real MPI-IO applications describe their file access with derived datatypes
+(``MPI_Type_vector``, ``MPI_Type_create_subarray``, ...) passed to
+``MPI_File_set_view``; ROMIO flattens the filetype into the offset/length
+list that drives the two-phase algorithm.  This module provides the same
+constructors and flattening, producing the
+:class:`~repro.access.RankAccess` the rest of the stack consumes.
+
+All sizes are bytes at this level (an elementary type is given by its
+``extent``); a datatype is an immutable description with:
+
+* ``size``    — bytes of actual data per instance (holes excluded),
+* ``extent``  — bytes the instance spans in the file (holes included),
+* ``segments()`` — the flattened (offset, length) runs of one instance.
+
+Example — the coll_perf block as MPI would describe it::
+
+    elem = Datatype.contiguous_bytes(8)                   # MPI_DOUBLE
+    zrun = Datatype.contiguous(elem, 256)                 # one z-run
+    filetype = Datatype.subarray(
+        elem, sizes=(1024, 2048, 2048), subsizes=(128, 256, 256),
+        starts=(0, 0, 0),
+    )
+    access = filetype.to_access(disp=0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.access import RankAccess
+
+
+class DatatypeError(ValueError):
+    """Invalid datatype construction."""
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An immutable flattened datatype: sorted disjoint byte runs."""
+
+    offsets: tuple[int, ...]  # run start offsets within the extent
+    lengths: tuple[int, ...]
+    extent: int  # total span (may exceed the last run's end: trailing hole)
+
+    def __post_init__(self):
+        if len(self.offsets) != len(self.lengths):
+            raise DatatypeError("offsets/lengths mismatch")
+        prev_end = None
+        for off, length in zip(self.offsets, self.lengths):
+            if length <= 0:
+                raise DatatypeError(f"non-positive run length {length}")
+            if off < 0:
+                raise DatatypeError(f"negative offset {off}")
+            if prev_end is not None and off < prev_end:
+                raise DatatypeError("runs overlap or are unsorted")
+            prev_end = off + length
+        if prev_end is not None and self.extent < prev_end:
+            raise DatatypeError("extent smaller than the last run's end")
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Bytes of data (holes excluded) — MPI_Type_size."""
+        return sum(self.lengths)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def contiguous(self) -> bool:
+        return self.num_runs == 1 and self.offsets[0] == 0 and self.lengths[0] == self.extent
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self.offsets, self.lengths))
+
+    # -- constructors (the MPI type-constructor family) -----------------------
+    @classmethod
+    def contiguous_bytes(cls, nbytes: int) -> "Datatype":
+        """An elementary type of ``nbytes`` (e.g. 8 for MPI_DOUBLE)."""
+        if nbytes <= 0:
+            raise DatatypeError(f"non-positive elementary size {nbytes}")
+        return cls((0,), (nbytes,), nbytes)
+
+    @classmethod
+    def contiguous(cls, oldtype: "Datatype", count: int) -> "Datatype":
+        """MPI_Type_contiguous: ``count`` back-to-back instances."""
+        return cls.vector(oldtype, count=count, blocklength=1, stride=1)
+
+    @classmethod
+    def vector(cls, oldtype: "Datatype", count: int, blocklength: int, stride: int) -> "Datatype":
+        """MPI_Type_vector: ``count`` blocks of ``blocklength`` instances,
+        block starts ``stride`` instances apart (in oldtype extents)."""
+        if count <= 0 or blocklength <= 0:
+            raise DatatypeError("count and blocklength must be positive")
+        if stride < blocklength and count > 1:
+            raise DatatypeError("stride smaller than blocklength would overlap")
+        offs: list[int] = []
+        lens: list[int] = []
+        ext = oldtype.extent
+        for block in range(count):
+            base = block * stride * ext
+            for inst in range(blocklength):
+                for off, length in oldtype.segments():
+                    offs.append(base + inst * ext + off)
+                    lens.append(length)
+        extent = ((count - 1) * stride + blocklength) * ext
+        return cls._coalesced(offs, lens, extent)
+
+    @classmethod
+    def indexed(
+        cls, oldtype: "Datatype", blocklengths: Sequence[int], displacements: Sequence[int]
+    ) -> "Datatype":
+        """MPI_Type_indexed: blocks of varying length at given displacements
+        (both in oldtype extents); displacements must be increasing."""
+        if len(blocklengths) != len(displacements):
+            raise DatatypeError("blocklengths/displacements mismatch")
+        offs: list[int] = []
+        lens: list[int] = []
+        ext = oldtype.extent
+        for blocklength, disp in zip(blocklengths, displacements):
+            if blocklength <= 0:
+                raise DatatypeError("non-positive blocklength")
+            for inst in range(blocklength):
+                for off, length in oldtype.segments():
+                    offs.append((disp + inst) * ext + off)
+                    lens.append(length)
+        extent = max(
+            (d + b) * ext for d, b in zip(displacements, blocklengths)
+        ) if blocklengths else 0
+        return cls._coalesced(offs, lens, extent)
+
+    @classmethod
+    def subarray(
+        cls,
+        oldtype: "Datatype",
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+    ) -> "Datatype":
+        """MPI_Type_create_subarray (C order): an n-D block out of an n-D
+        array — the coll_perf/block-decomposition workhorse."""
+        if not (len(sizes) == len(subsizes) == len(starts)):
+            raise DatatypeError("sizes/subsizes/starts rank mismatch")
+        for size, sub, start in zip(sizes, subsizes, starts):
+            if sub <= 0 or size <= 0:
+                raise DatatypeError("sizes and subsizes must be positive")
+            if start < 0 or start + sub > size:
+                raise DatatypeError("subarray out of bounds")
+        ext = oldtype.extent
+        if not oldtype.contiguous:
+            raise DatatypeError("subarray requires a contiguous element type")
+        # Runs are contiguous along the last dimension.
+        ndim = len(sizes)
+        run_len = subsizes[-1] * ext
+        # All index combinations over the outer dimensions, vectorised.
+        outer = [np.arange(starts[d], starts[d] + subsizes[d]) for d in range(ndim - 1)]
+        if outer:
+            grids = np.meshgrid(*outer, indexing="ij")
+            flat = np.zeros(grids[0].size, dtype=np.int64)
+            stride = np.ones(ndim, dtype=np.int64)
+            for d in range(ndim - 2, -1, -1):
+                stride[d] = stride[d + 1] * sizes[d + 1]
+            for d in range(ndim - 1):
+                flat += grids[d].ravel() * stride[d]
+            offs = (flat + starts[-1]) * ext
+        else:
+            offs = np.array([starts[-1] * ext], dtype=np.int64)
+        lens = np.full(offs.shape, run_len, dtype=np.int64)
+        extent = int(np.prod(np.asarray(sizes, dtype=np.int64))) * ext
+        return cls._coalesced(offs.tolist(), lens.tolist(), extent)
+
+    @classmethod
+    def _coalesced(cls, offs: list[int], lens: list[int], extent: int) -> "Datatype":
+        """Sort and merge adjacent runs."""
+        order = sorted(range(len(offs)), key=offs.__getitem__)
+        merged_offs: list[int] = []
+        merged_lens: list[int] = []
+        for idx in order:
+            off, length = offs[idx], lens[idx]
+            if merged_offs and merged_offs[-1] + merged_lens[-1] == off:
+                merged_lens[-1] += length
+            else:
+                merged_offs.append(off)
+                merged_lens.append(length)
+        return cls(tuple(merged_offs), tuple(merged_lens), extent)
+
+    # -- the MPI_File_set_view product --------------------------------------------
+    def tiled(self, count: int) -> "Datatype":
+        """``count`` repetitions of this type back to back (the file view
+        semantics: the filetype tiles the file)."""
+        return Datatype.contiguous(self, count)
+
+    def to_access(
+        self, disp: int = 0, count: int = 1, data: Optional[np.ndarray] = None
+    ) -> RankAccess:
+        """Flatten ``count`` tiles starting at displacement ``disp`` into the
+        RankAccess consumed by ``write_all``/``read_all``."""
+        if count < 0:
+            raise DatatypeError("negative count")
+        if count == 0 or self.num_runs == 0:
+            return RankAccess.empty_access()
+        base_offs = np.asarray(self.offsets, dtype=np.int64)
+        base_lens = np.asarray(self.lengths, dtype=np.int64)
+        tiles = disp + np.arange(count, dtype=np.int64)[:, None] * self.extent
+        offs = (tiles + base_offs[None, :]).ravel()
+        lens = np.broadcast_to(base_lens, (count, len(base_lens))).ravel()
+        return RankAccess(offs, lens, data)

@@ -1,0 +1,91 @@
+"""SPMD harness: run one generator body per rank on a simulated machine.
+
+``MPIWorld.run(rank_body)`` spawns ``nprocs`` kernel processes, each
+executing ``rank_body(ctx)`` where :class:`MPIContext` exposes the rank id,
+the communicator, the owning compute node and convenience helpers.  The
+return value is the list of per-rank results, in rank order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.mpi.comm import Communicator
+from repro.mpi.collectives import CollectiveCosts
+from repro.net.fabric import Fabric
+from repro.net.message import Transport
+from repro.sim.core import Simulator
+
+RankBody = Callable[["MPIContext"], Generator]
+
+
+class MPIContext:
+    """What a rank body sees: its identity plus the machine around it."""
+
+    def __init__(self, rank: int, comm: Communicator, machine: Any):
+        self.rank = rank
+        self.comm = comm
+        self.machine = machine
+        self.sim: Simulator = comm.sim
+        self.node_id = comm.node_of(rank)
+
+    @property
+    def node(self):
+        return self.machine.nodes[self.node_id]
+
+    @property
+    def nprocs(self) -> int:
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def compute(self, seconds: float):
+        """Emulate a computation phase of fixed duration."""
+        yield self.sim.timeout(seconds)
+
+    def is_aggregator_candidate(self) -> bool:
+        """True for the lowest rank on each node (ROMIO's default cb layout)."""
+        return self.rank % self.machine.config.procs_per_node == 0
+
+
+class MPIWorld:
+    """Builds the transport + communicator for a machine and runs rank bodies."""
+
+    def __init__(self, machine: Any, collective_mode: str = "model"):
+        self.machine = machine
+        cfg = machine.config
+        nprocs = cfg.num_ranks
+        rank_to_node = [r // cfg.procs_per_node for r in range(nprocs)]
+        self.transport = Transport(
+            machine.sim, machine.fabric, rank_to_node, cfg.network.per_message_overhead
+        )
+        costs = CollectiveCosts(
+            alpha=cfg.network.alpha_collective,
+            beta_inv=1.0 / cfg.network.nic_bw,
+            per_message=cfg.network.per_message_overhead,
+            procs_per_node=cfg.procs_per_node,
+            shm_beta_inv=1.0 / cfg.network.shm_bw,
+        )
+        self.comm = Communicator(
+            machine.sim, self.transport, nprocs, costs, collective_mode=collective_mode
+        )
+
+    def contexts(self) -> list[MPIContext]:
+        return [MPIContext(r, self.comm, self.machine) for r in range(self.comm.size)]
+
+    def spawn(self, rank_body: RankBody) -> list:
+        """Start every rank; returns the kernel Process handles."""
+        procs = []
+        for ctx in self.contexts():
+            procs.append(
+                self.machine.sim.process(rank_body(ctx), name=f"rank{ctx.rank}")
+            )
+        return procs
+
+    def run(self, rank_body: RankBody, until: Optional[float] = None) -> list[Any]:
+        """Spawn all ranks, run the simulation to completion, return results."""
+        procs = self.spawn(rank_body)
+        done = self.machine.sim.all_of(procs)
+        return self.machine.sim.run(until=done)

@@ -1,0 +1,78 @@
+"""MPI request objects.
+
+:class:`Request` wraps a kernel event and provides ``test``/``wait``
+semantics.  :class:`GeneralizedRequest` reproduces MPI generalized requests
+(MPI-3 §12.2): created by user-level code (here: the E10 cache layer, one
+per written extent) and completed asynchronously by a service thread calling
+:meth:`GeneralizedRequest.complete` — the simulated analogue of
+``MPI_Grequest_complete()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.core import Event, SimError, Simulator
+
+
+class Request:
+    """Handle to an in-flight nonblocking operation."""
+
+    __slots__ = ("event", "kind", "meta")
+
+    def __init__(self, event: Event, kind: str = "p2p", meta: Optional[dict] = None):
+        self.event = event
+        self.kind = kind
+        self.meta = meta or {}
+
+    @property
+    def complete_now(self) -> bool:
+        """MPI_Test: has the operation already finished?"""
+        return self.event.fired
+
+    def wait(self):
+        """MPI_Wait — generator: ``result = yield from req.wait()``."""
+        if self.event.fired:
+            if not self.event.ok:
+                raise self.event.value
+            return self.event.value
+        value = yield self.event
+        return value
+
+    def result(self) -> Any:
+        if not self.event.fired:
+            raise SimError("request not complete")
+        return self.event.value
+
+
+class GeneralizedRequest(Request):
+    """A request completed by external (non-MPI-progress) activity."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, meta: Optional[dict] = None):
+        super().__init__(Event(sim, name="grequest"), kind="grequest", meta=meta)
+
+    def complete(self, value: Any = None) -> None:
+        """MPI_Grequest_complete: mark the operation finished (idempotent
+        completion is an error, matching MPI semantics)."""
+        self.event.succeed(value)
+
+    def fail(self, exc: BaseException) -> None:
+        self.event.fail(exc)
+
+
+def waitall(sim: Simulator, requests: list[Request]):
+    """MPI_Waitall — generator yielding until every request completes.
+
+    Returns the list of request values in order.  A failed request raises.
+    """
+    pending = [r.event for r in requests if not r.event.fired]
+    if pending:
+        yield sim.all_of(pending)
+    out = []
+    for r in requests:
+        if not r.event.ok:
+            raise r.event.value
+        out.append(r.event.value)
+    return out

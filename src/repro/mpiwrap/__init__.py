@@ -1,0 +1,15 @@
+"""MPIWRAP: the PMPI wrapper library for legacy applications (Section III-C).
+
+The original is a C++ library preloaded with ``LD_PRELOAD`` that overloads
+``MPI_File_{open,close}`` via the PMPI profiling interface: hints come from
+a configuration file, and for configured file groups ``MPI_File_close``
+returns immediately while the real close (and hence the cache
+synchronisation wait) is deferred to the next ``MPI_File_open`` of a file
+with the same base name.  This module reproduces the same behaviour over
+the simulated MPI-IO layer.
+"""
+
+from repro.mpiwrap.config import WrapConfig, WrapSection
+from repro.mpiwrap.wrapper import MPIWrap, WrapHandle
+
+__all__ = ["MPIWrap", "WrapConfig", "WrapHandle", "WrapSection"]

@@ -1,0 +1,86 @@
+"""MPIWRAP configuration file parsing.
+
+The format mirrors the paper's description — per-file-group hint sections::
+
+    # hints for checkpoint files
+    [/scratch/run/ckpt_*]
+    e10_cache = enable
+    e10_cache_flush_flag = flush_immediate
+    defer_close = true
+
+    [*.plt]
+    e10_cache = disable
+
+Sections are matched with ``fnmatch`` against the full path, first match
+wins.  ``defer_close`` (an MPIWRAP directive, not an MPI-IO hint) triggers
+the workflow modification of Fig. 3 for that group.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class WrapConfigError(ValueError):
+    """Malformed MPIWRAP configuration text."""
+
+
+@dataclass
+class WrapSection:
+    pattern: str
+    hints: dict[str, str] = field(default_factory=dict)
+    defer_close: bool = False
+
+    def matches(self, path: str) -> bool:
+        return fnmatch.fnmatch(path, self.pattern)
+
+
+@dataclass
+class WrapConfig:
+    sections: list[WrapSection] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "WrapConfig":
+        cfg = cls()
+        current: Optional[WrapSection] = None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            m = re.fullmatch(r"\[(.+)\]", line)
+            if m:
+                current = WrapSection(pattern=m.group(1).strip())
+                cfg.sections.append(current)
+                continue
+            if "=" not in line:
+                raise WrapConfigError(f"line {lineno}: expected 'key = value', got {raw!r}")
+            if current is None:
+                raise WrapConfigError(f"line {lineno}: hint outside of a [pattern] section")
+            key, value = (part.strip() for part in line.split("=", 1))
+            if key == "defer_close":
+                if value.lower() not in ("true", "false", "enable", "disable"):
+                    raise WrapConfigError(f"line {lineno}: defer_close must be boolean")
+                current.defer_close = value.lower() in ("true", "enable")
+            else:
+                current.hints[key] = value
+        return cfg
+
+    def match(self, path: str) -> Optional[WrapSection]:
+        for section in self.sections:
+            if section.matches(path):
+                return section
+        return None
+
+
+def base_name(path: str) -> str:
+    """The paper's file-group key: the name with its trailing index removed.
+
+    ``/run/ckpt_0003`` and ``/run/ckpt_0004`` share the base ``/run/ckpt_``.
+    """
+    m = re.fullmatch(r"(.*?)(\d+)(\.\w+)?", path)
+    if m:
+        return m.group(1) + (m.group(3) or "")
+    return path

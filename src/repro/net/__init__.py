@@ -1,0 +1,6 @@
+"""Interconnect model: NIC-contended flows and rank-to-rank messaging."""
+
+from repro.net.fabric import Fabric, Flow, Link
+from repro.net.message import Mailbox, Message, Transport
+
+__all__ = ["Fabric", "Flow", "Link", "Mailbox", "Message", "Transport"]

@@ -1,0 +1,208 @@
+"""Max-min fair flow-level network model.
+
+The switch core is treated as non-blocking (valid for the DEEP-ER fat tree
+at 64 nodes), so the contended resources are each node's NIC injection and
+ejection links.  Active transfers are *flows* holding a residual byte count;
+whenever the flow set changes, rates are recomputed by progressive filling
+(water-filling): repeatedly find the bottleneck link with the smallest fair
+share, freeze its flows at that rate, remove the link, and continue.  This
+is the standard fluid approximation for TCP/RDMA fair sharing and captures
+exactly the effect the paper's shuffle phase depends on — many ranks
+funnelling into few aggregator NICs.
+
+Intra-node transfers bypass the NIC links and move at the (higher) memory
+copy bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.sim.core import Event, Simulator
+
+_EPS = 1e-12
+
+
+class Link:
+    """A unidirectional capacity (one NIC direction)."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float):
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: set["Flow"] = set()
+
+
+class Flow:
+    """An active transfer across a set of links."""
+
+    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes")
+
+    def __init__(self, fid: int, links: list[Link], nbytes: float, done: Event):
+        self.fid = fid
+        self.links = links
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.done = done
+
+
+class Fabric:
+    """The cluster interconnect: per-node NIC in/out links plus loopback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        nic_bw: float,
+        latency: float,
+        loopback_bw: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.nic_bw = float(nic_bw)
+        self.latency = float(latency)
+        self.loopback_bw = float(loopback_bw if loopback_bw is not None else 4 * nic_bw)
+        self._out = [Link(f"node{n}.out", nic_bw) for n in range(num_nodes)]
+        self._in = [Link(f"node{n}.in", nic_bw) for n in range(num_nodes)]
+        self._loop = [Link(f"node{n}.loop", self.loopback_bw) for n in range(num_nodes)]
+        self._flows: set[Flow] = set()
+        self._fid = itertools.count()
+        self._last_update = 0.0
+        self._wake: Optional[Event] = None
+        self.bytes_moved = 0.0
+
+    # -- public API -----------------------------------------------------------
+    def make_link(self, name: str, capacity: float) -> Link:
+        """Create an auxiliary capacity (client channel, server ingest, ...)."""
+        return Link(name, capacity)
+
+    def start_flow(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: float,
+        extra_links: tuple[Link, ...] = (),
+    ) -> Event:
+        """Begin a transfer; the returned event fires when the last byte lands.
+
+        Zero-byte flows complete after just the propagation latency.
+        ``extra_links`` lets callers thread additional shared capacities into
+        the fair-sharing computation (e.g. a PFS client's streaming channel
+        and the target server's ingest stage).
+        """
+        done = self.sim.event(name=f"flow:{src_node}->{dst_node}")
+        if nbytes <= 0:
+            done.succeed(delay=self.latency)
+            return done
+        if src_node == dst_node:
+            links = [self._loop[src_node]]
+        else:
+            links = [self._out[src_node], self._in[dst_node]]
+        links.extend(extra_links)
+        self._advance()
+        flow = Flow(next(self._fid), links, nbytes, done)
+        self._flows.add(flow)
+        for link in links:
+            link.flows.add(flow)
+        self.bytes_moved += nbytes
+        self._reschedule()
+        return done
+
+    def transfer(self, src_node: int, dst_node: int, nbytes: float):
+        """Process-style helper: ``yield from fabric.transfer(...)``."""
+        yield self.start_flow(src_node, dst_node, nbytes)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def flow_rates(self) -> dict[int, float]:
+        """Current rate per flow id (after a fresh recompute) — for tests."""
+        self._advance()
+        self._recompute()
+        return {f.fid: f.rate for f in self._flows}
+
+    # -- internals --------------------------------------------------------------
+    def _advance(self) -> None:
+        """Progress all flows from the last update instant to now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows:
+                flow.remaining -= flow.rate * dt
+        self._last_update = now
+
+    def _recompute(self) -> None:
+        """Max-min fair allocation by progressive filling."""
+        unfrozen: set[Flow] = set(self._flows)
+        residual = {link: link.capacity for flow in unfrozen for link in flow.links}
+        live = {link: {f for f in link.flows if f in unfrozen} for link in residual}
+        while unfrozen:
+            best_link = None
+            best_share = float("inf")
+            for link, members in live.items():
+                if not members:
+                    continue
+                share = residual[link] / len(members)
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            # Clamp against accumulated floating-point error: a residual can
+            # drift a few ULPs negative, which would hand out negative rates
+            # and stall the completion clock.
+            best_share = max(best_share, 0.0)
+            for flow in list(live[best_link]):
+                flow.rate = best_share
+                unfrozen.discard(flow)
+                for link in flow.links:
+                    if link is not best_link:
+                        residual[link] = max(0.0, residual[link] - best_share)
+                        live[link].discard(flow)
+            live[best_link].clear()
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm a wake-up at the next flow completion."""
+        self._recompute()
+        soonest = float("inf")
+        for flow in self._flows:
+            if flow.remaining <= self._finish_threshold(flow):
+                soonest = 0.0
+            elif flow.rate > _EPS:
+                t = flow.remaining / flow.rate
+                if t < soonest:
+                    soonest = t
+        # Invalidate any previously armed wake-up (it checks identity below).
+        wake = self.sim.event(name="fabric-wake")
+        self._wake = wake
+        if soonest is not float("inf"):
+            wake.callbacks.append(self._on_wake)
+            # Floor at one nanosecond so a pathological rate can never stall
+            # the simulation clock (livelock guard).
+            wake.succeed(delay=max(1e-9, soonest) if soonest > 0.0 else 0.0)
+
+    @staticmethod
+    def _finish_threshold(flow: Flow) -> float:
+        # Sub-byte residue: done for all practical purposes.
+        return max(1e-6, _EPS * flow.nbytes)
+
+    def _on_wake(self, event: Event) -> None:
+        if event is not self._wake:
+            return  # superseded by a newer reschedule
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= self._finish_threshold(f)]
+        for flow in finished:
+            self._flows.discard(flow)
+            for link in flow.links:
+                link.flows.discard(flow)
+        for flow in finished:
+            # Completion is delivered after the propagation latency.
+            flow.done.succeed(delay=self.latency)
+        if self._flows:
+            self._reschedule()
+        else:
+            self._wake = None

@@ -1,0 +1,114 @@
+"""Rank-to-rank message transport with MPI-style (source, tag) matching.
+
+Each rank owns a :class:`Mailbox`.  A send charges the sender the
+per-message CPU overhead, starts a fabric flow between the two ranks' nodes,
+and enqueues the message in the destination mailbox once the flow (plus
+latency) completes.  Receives match on ``(source, tag)`` with wildcard
+support, in MPI's non-overtaking order (messages between the same pair with
+the same tag are matched in send order — guaranteed here because matching is
+FIFO over arrival order and flows between a fixed pair complete in start
+order under fair sharing of identical link sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.fabric import Fabric
+from repro.sim.core import Event, Simulator
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    seq: int = 0
+
+
+@dataclass
+class _PendingRecv:
+    source: int
+    tag: int
+    event: Event
+
+
+class Mailbox:
+    """Per-rank unexpected-message queue plus posted-receive list."""
+
+    def __init__(self, sim: Simulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self.unexpected: list[Message] = []
+        self.posted: list[_PendingRecv] = []
+
+    def deliver(self, msg: Message) -> None:
+        for idx, pr in enumerate(self.posted):
+            if _matches(pr.source, pr.tag, msg):
+                del self.posted[idx]
+                pr.event.succeed(msg)
+                return
+        self.unexpected.append(msg)
+
+    def post_recv(self, source: int, tag: int) -> Event:
+        ev = Event(self.sim, name=f"recv:r{self.rank}")
+        for idx, msg in enumerate(self.unexpected):
+            if _matches(source, tag, msg):
+                del self.unexpected[idx]
+                ev.succeed(msg)
+                return ev
+        self.posted.append(_PendingRecv(source, tag, ev))
+        return ev
+
+
+def _matches(want_source: int, want_tag: int, msg: Message) -> bool:
+    return (want_source in (ANY_SOURCE, msg.source)) and (want_tag in (ANY_TAG, msg.tag))
+
+
+class Transport:
+    """Moves messages between ranks over the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        rank_to_node: list[int],
+        per_message_overhead: float,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.rank_to_node = list(rank_to_node)
+        self.per_message_overhead = float(per_message_overhead)
+        self.mailboxes = [Mailbox(sim, r) for r in range(len(rank_to_node))]
+        self._seq = 0
+        self.messages_sent = 0
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    def send(self, source: int, dest: int, tag: int, payload: Any, nbytes: int) -> Event:
+        """Start a send; the returned event fires when the transfer completes
+        locally (the data has left the sender — eager/rendezvous completion).
+        Delivery into the destination mailbox happens at arrival time.
+        """
+        self._seq += 1
+        self.messages_sent += 1
+        msg = Message(source, dest, tag, payload, int(nbytes), self._seq)
+        flow_done = self.fabric.start_flow(self.node_of(source), self.node_of(dest), nbytes)
+        send_done = Event(self.sim, name=f"send:r{source}->r{dest}")
+
+        def _arrived(ev: Event) -> None:
+            self.mailboxes[dest].deliver(msg)
+            send_done.succeed()
+
+        flow_done.callbacks.append(_arrived)
+        return send_done
+
+    def post_recv(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        return self.mailboxes[rank].post_recv(source, tag)

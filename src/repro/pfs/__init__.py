@@ -1,0 +1,14 @@
+"""BeeGFS-like parallel file system model.
+
+Components: striping layout math (:mod:`repro.pfs.layout`), storage servers
+with RAID targets and service jitter (:mod:`repro.pfs.server`), a metadata
+server (:mod:`repro.pfs.mds`), a stripe-granular extent lock manager
+(:mod:`repro.pfs.locks`), the client RPC fan-out (:mod:`repro.pfs.client`)
+and the facade tying them together (:mod:`repro.pfs.filesystem`).
+"""
+
+from repro.pfs.filesystem import ParallelFileSystem, PFSFile
+from repro.pfs.layout import StripeLayout
+from repro.pfs.client import PFSClient
+
+__all__ = ["PFSClient", "ParallelFileSystem", "PFSFile", "StripeLayout"]

@@ -1,0 +1,79 @@
+"""Striping arithmetic.
+
+A file's byte stream is chopped into ``stripe_size`` units dealt round-robin
+over ``stripe_count`` targets (starting at ``first_target``).  These
+functions convert between file offsets and (target, target-local offset)
+and split arbitrary extents into their per-target pieces — the client's RPC
+fan-out and the lock manager's stripe indexing are both built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class StripeChunk:
+    """One stripe-resident piece of a file extent."""
+
+    target: int  # index into the file's target list
+    target_offset: int  # byte offset within that target's object
+    file_offset: int  # where this piece sits in the file
+    length: int
+    stripe_index: int  # global stripe number in the file
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    stripe_size: int
+    stripe_count: int
+    first_target: int = 0
+
+    def __post_init__(self):
+        if self.stripe_size <= 0:
+            raise ValueError(f"stripe_size must be positive, got {self.stripe_size}")
+        if self.stripe_count <= 0:
+            raise ValueError(f"stripe_count must be positive, got {self.stripe_count}")
+
+    def stripe_of(self, offset: int) -> int:
+        return offset // self.stripe_size
+
+    def target_of(self, offset: int) -> int:
+        return (self.stripe_of(offset) + self.first_target) % self.stripe_count
+
+    def target_offset_of(self, offset: int) -> int:
+        """Byte position inside the target-local object for a file offset."""
+        stripe = self.stripe_of(offset)
+        row = stripe // self.stripe_count  # how many full rounds precede it
+        return row * self.stripe_size + offset % self.stripe_size
+
+    def chunks(self, offset: int, length: int) -> Iterator[StripeChunk]:
+        """Split ``[offset, offset+length)`` into per-stripe pieces."""
+        if length < 0:
+            raise ValueError("negative extent length")
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe = self.stripe_of(pos)
+            stripe_end = (stripe + 1) * self.stripe_size
+            piece = min(end, stripe_end) - pos
+            yield StripeChunk(
+                target=(stripe + self.first_target) % self.stripe_count,
+                target_offset=self.target_offset_of(pos),
+                file_offset=pos,
+                length=piece,
+                stripe_index=stripe,
+            )
+            pos += piece
+
+    def stripes_covered(self, offset: int, length: int) -> range:
+        if length <= 0:
+            return range(0, 0)
+        return range(self.stripe_of(offset), self.stripe_of(offset + length - 1) + 1)
+
+    def align_down(self, offset: int) -> int:
+        return (offset // self.stripe_size) * self.stripe_size
+
+    def align_up(self, offset: int) -> int:
+        return -(-offset // self.stripe_size) * self.stripe_size

@@ -1,0 +1,32 @@
+"""Metadata server.
+
+A single-queue service point for namespace operations (create, open, close,
+stat, unlink).  Collective open in ROMIO has rank 0 create the file and
+broadcast the handle, so MDS load stays light; the model still serialises
+ops so a metadata storm (e.g. file-per-process workloads, which we support
+for comparison experiments) queues realistically.
+"""
+
+from __future__ import annotations
+
+from repro.config import PFSConfig
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+class MetadataServer:
+    def __init__(self, sim: Simulator, fabric_node: int, cfg: PFSConfig):
+        self.sim = sim
+        self.fabric_node = fabric_node
+        self.cfg = cfg
+        self.queue = Resource(sim, capacity=1, name="mds")
+        self.ops = 0
+
+    def op(self, kind: str = "generic"):
+        """Generator: one metadata operation (create/open/stat/unlink/...)."""
+        yield self.queue.request()
+        try:
+            self.ops += 1
+            yield self.sim.timeout(self.cfg.metadata_op_time)
+        finally:
+            self.queue.release()

@@ -1,0 +1,179 @@
+"""Storage data servers.
+
+Each data server owns one RAID6 target and a small worker pool (BeeGFS
+worker threads): RPC processing overlaps across workers but the device
+serialises.  Service times carry a lognormal jitter factor — this is the
+load-imbalance "one server is momentarily slow" effect that makes one
+aggregator the straggler and inflates the post-write global synchronisation
+(paper Section II-B and the Fig. 8 outlier discussion).
+
+The RAID target uses a *stream table*: firmware and the I/O elevator detect
+up to ``max_streams`` interleaved sequential streams, so concurrent
+aggregators each writing their own contiguous file domain do not pay a full
+seek per request — only genuinely random access does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import PFSConfig
+from repro.hw.devices import StorageDevice
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Resource
+from repro.sim.rng import RngStreams
+
+
+class RaidTarget(StorageDevice):
+    """RAID6 group with multi-stream sequential detection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cfg: PFSConfig,
+        rng: Optional[RngStreams] = None,
+        max_streams: Optional[int] = None,
+    ):
+        super().__init__(sim, name, cfg.hdd.capacity)
+        self.stream_bw = cfg.hdd.stream_bw
+        self.seek_time = cfg.hdd.seek_time
+        self.sequential_seek_factor = cfg.hdd.sequential_seek_factor
+        self.max_streams = max_streams if max_streams is not None else cfg.server_max_streams
+        self.rng = rng
+        self.jitter_sigma = cfg.jitter_sigma
+        self._streams: dict[int, int] = {}  # tail offset -> lru tick
+        self._tick = 0
+        self.seeks = 0
+
+    def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
+        self._tick += 1
+        sequential = offset in self._streams
+        if sequential:
+            del self._streams[offset]
+        else:
+            self.seeks += 1
+            if len(self._streams) >= self.max_streams:
+                # Evict the least recently extended stream.
+                lru = min(self._streams, key=self._streams.get)
+                del self._streams[lru]
+        self._streams[offset + nbytes] = self._tick
+        seek = self.seek_time * (self.sequential_seek_factor if sequential else 1.0)
+        base = seek + nbytes / self.stream_bw
+        if self.jitter_sigma > 0.0 and self.rng is not None:
+            base *= self.rng.lognormal_factor(f"{self.name}.jitter", self.jitter_sigma)
+        return base
+
+
+class WriteBackCache:
+    """Server-side dirty buffer: absorbs acked writes, drains to the target.
+
+    A write RPC completes once its bytes fit under the dirty limit; a single
+    drain daemon streams dirty data to the RAID target in ``drain_chunk``
+    units (the elevator makes the drain effectively sequential).  When the
+    cache is full, writers block until the drain frees room — sustained load
+    therefore settles to the disk rate while bursts and round-synchronised
+    collective patterns are decoupled from disk-arm scheduling.
+    """
+
+    def __init__(self, sim: Simulator, target: RaidTarget, limit: int, drain_chunk: int):
+        self.sim = sim
+        self.target = target
+        self.limit = int(limit)
+        self.drain_chunk = int(drain_chunk)
+        self.dirty = 0
+        self._waiters: list[Event] = []
+        self._daemon_running = False
+        self._drain_pos = 0
+
+    def absorb(self, nbytes: int):
+        """Generator: account ``nbytes`` dirty, blocking while over the limit."""
+        remaining = int(nbytes)
+        while remaining > 0:
+            room = self.limit - self.dirty
+            if room <= 0:
+                ev = Event(self.sim, name="srvcache-throttle")
+                self._waiters.append(ev)
+                yield ev
+                continue
+            chunk = min(remaining, room)
+            self.dirty += chunk
+            remaining -= chunk
+            self._ensure_daemon()
+
+    def drain_all(self):
+        """Generator: wait until the cache is empty (used by tests/teardown)."""
+        while self.dirty > 0:
+            ev = Event(self.sim, name="srvcache-drainwait")
+            self._waiters.append(ev)
+            yield ev
+
+    def _ensure_daemon(self) -> None:
+        if not self._daemon_running and self.dirty > 0:
+            self._daemon_running = True
+            self.sim.process(self._drain(), name="srv-drain")
+
+    def _drain(self):
+        while self.dirty > 0:
+            chunk = min(self.drain_chunk, self.dirty)
+            yield from self.target.write(self._drain_pos, chunk)
+            self._drain_pos += chunk
+            self.dirty -= chunk
+            if self._waiters:
+                waiters, self._waiters = self._waiters, []
+                for ev in waiters:
+                    ev.succeed()
+        self._daemon_running = False
+
+
+class DataServer:
+    """One BeeGFS storage server: worker pool, write-back cache, RAID target."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_id: int,
+        fabric_node: int,
+        cfg: PFSConfig,
+        rng: Optional[RngStreams] = None,
+        num_workers: int = 4,
+    ):
+        self.sim = sim
+        self.server_id = server_id
+        self.fabric_node = fabric_node
+        self.cfg = cfg
+        self.rng = rng
+        self.workers = Resource(sim, capacity=num_workers, name=f"srv{server_id}.workers")
+        self.target = RaidTarget(sim, f"srv{server_id}.raid", cfg, rng)
+        self.cache = WriteBackCache(
+            sim, self.target, cfg.server_cache_bytes, cfg.server_drain_chunk
+        )
+        self.rpcs_served = 0
+
+    def serve_write(self, target_offset: int, nbytes: int, rpc_count: int = 1):
+        """Generator: process one write RPC — worker, overhead, cache absorb.
+
+        ``rpc_count > 1`` accounts for a batch of logical RPCs coalesced by
+        the caller: per-RPC overhead is charged for each.
+        """
+        yield self.workers.request()
+        try:
+            overhead = self.cfg.rpc_overhead * max(1, rpc_count)
+            if self.rng is not None and self.cfg.jitter_sigma > 0:
+                overhead *= self.rng.lognormal_factor(
+                    f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
+                )
+            yield self.sim.timeout(overhead)
+            yield from self.cache.absorb(nbytes)
+            self.rpcs_served += max(1, rpc_count)
+        finally:
+            self.workers.release()
+
+    def serve_read(self, target_offset: int, nbytes: int):
+        yield self.workers.request()
+        try:
+            yield self.sim.timeout(self.cfg.rpc_overhead)
+            yield from self.target.read(target_offset, nbytes)
+            self.rpcs_served += 1
+        finally:
+            self.workers.release()

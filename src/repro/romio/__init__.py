@@ -1,0 +1,15 @@
+"""ROMIO: the MPI-IO implementation, ported from the paper's description.
+
+The collective write path follows Fig. 2 of the paper exactly:
+``MPI_File_write_all`` → ``ADIOI_GEN_WriteStridedColl`` →
+``ADIOI_Exch_and_write`` (the extended two-phase algorithm) →
+``ADIOI_W_Exchange_data`` per round → ``ADIO_WriteContig`` on aggregators.
+The E10 cache extensions (Section III) hook ``ADIOI_GEN_WriteContig``,
+``ADIOI_GEN_OpenColl``, ``ADIO_Close`` and ``ADIOI_GEN_Flush``.
+"""
+
+from repro.romio.hints import HintError, Hints
+from repro.romio.file import MPIIOLayer
+from repro.romio.profiling import PhaseProfile, Profiler
+
+__all__ = ["HintError", "Hints", "MPIIOLayer", "PhaseProfile", "Profiler"]

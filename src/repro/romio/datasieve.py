@@ -1,0 +1,142 @@
+"""Independent strided writes with data sieving (``ADIOI_GEN_WriteStrided``).
+
+When collective buffering is off (``romio_cb_write=disable``) or the access
+is not interleaved across ranks, every rank writes its own extents.  Dense
+non-contiguous extents are *sieved*: the rank reads an
+``ind_wr_buffer_size`` window, patches its pieces into it, and writes the
+whole window back — one large I/O instead of many tiny ones, at the cost of
+a read-modify-write and exclusive stripe locks over the window (POSIX
+semantics).  Windows whose extents fully cover them (or contain a single
+extent) skip the read.
+"""
+
+from __future__ import annotations
+
+from repro.access import RankAccess
+from repro.romio.fd import ADIOFile
+from repro.romio.profiling import Profiler
+
+
+def write_strided(fd: ADIOFile, rank: int, access: RankAccess, prof: Profiler):
+    """Generator: one rank's independent strided write; returns bytes written."""
+    if access.empty:
+        return 0
+    sieve = fd.hints.ind_wr_buffer_size
+    client = fd.machine.pfs_client(rank)
+    written = 0
+    pos = access.start_offset
+    end = access.end_offset + 1
+    while pos < end:
+        hi = min(end, pos + sieve)
+        ws = access.slice_window(pos, hi)
+        if ws.nbytes == 0:
+            pos = hi
+            continue
+        window = hi - pos
+        dense = ws.nbytes == window
+        if dense or ws.count == 1:
+            # No holes (or one extent): write the covered range(s) directly.
+            t0 = prof.mark()
+            for off, length, buf in zip(ws.offsets, ws.lengths, ws.buffer_starts):
+                data = None
+                if access.data is not None:
+                    data = access.data[int(buf) : int(buf) + int(length)]
+                yield from fd.driver.write_contig(fd, rank, int(off), int(length), data)
+                written += int(length)
+            prof.lap("write", t0)
+        else:
+            # Sieve: read-modify-write the whole window under a write lock.
+            t0 = prof.mark()
+            stripes = fd.pfs_file.layout.stripes_covered(pos, window)
+            for s in stripes:
+                yield from fd.machine.pfs.locks.acquire(
+                    fd.pfs_file.file_id, s, exclusive=True
+                )
+            try:
+                old = yield from client.read(fd.pfs_file, pos, window)
+                merged = None
+                if access.data is not None:
+                    import numpy as np
+
+                    merged = (
+                        old
+                        if old is not None
+                        else np.zeros(window, dtype=np.uint8)
+                    )
+                    payload = access.payload_for(ws)
+                    cursor = 0
+                    for off, length in zip(ws.offsets, ws.lengths):
+                        o, l = int(off), int(length)
+                        merged[o - pos : o - pos + l] = payload[cursor : cursor + l]
+                        cursor += l
+                yield from client.write(
+                    fd.pfs_file, pos, window, data=merged, locking=False
+                )
+                written += ws.nbytes
+            finally:
+                for s in stripes:
+                    fd.machine.pfs.locks.release(fd.pfs_file.file_id, s, exclusive=True)
+            prof.lap("write", t0)
+        pos = hi
+    return written
+
+
+def write_contig_independent(fd: ADIOFile, rank: int, offset: int, nbytes: int, data, prof: Profiler):
+    """Generator: plain independent contiguous write (``MPI_File_write_at``)."""
+    t0 = prof.mark()
+    yield from fd.driver.write_contig(fd, rank, offset, nbytes, data)
+    prof.lap("write", t0)
+    return nbytes
+
+
+def read_strided(fd: ADIOFile, rank: int, access: RankAccess, prof: Profiler):
+    """Generator: independent strided read with data sieving
+    (``ADIOI_GEN_ReadStrided``).
+
+    Reads always target the *global* file — the paper does not support reads
+    from the cache (Section III-B).  Sparse windows are sieved: one large
+    read covers the window and the rank's pieces are gathered from it.
+    Returns the assembled flat buffer (``None`` when the file is virtual).
+
+    In ``e10_cache=coherent`` mode the underlying PFS reads take shared
+    stripe locks, so extents still in transit from someone's cache block
+    until persistent.
+    """
+    if access.empty:
+        return None
+    import numpy as np
+
+    sieve = fd.hints.ind_wr_buffer_size
+    client = fd.machine.pfs_client(rank)
+    coherent = fd.hints.cache_coherent
+    out = np.zeros(access.total_bytes, dtype=np.uint8)
+    have_data = False
+    pos = access.start_offset
+    end = access.end_offset + 1
+    t0 = prof.mark()
+    while pos < end:
+        hi = min(end, pos + sieve)
+        ws = access.slice_window(pos, hi)
+        if ws.nbytes == 0:
+            pos = hi
+            continue
+        window = hi - pos
+        dense = ws.nbytes == window
+        if dense or ws.count == 1:
+            for off, length, buf in zip(ws.offsets, ws.lengths, ws.buffer_starts):
+                got = yield from client.read(
+                    fd.pfs_file, int(off), int(length), locking=coherent
+                )
+                if got is not None:
+                    out[int(buf) : int(buf) + int(length)] = got
+                    have_data = True
+        else:
+            got = yield from client.read(fd.pfs_file, pos, window, locking=coherent)
+            if got is not None:
+                for off, length, buf in zip(ws.offsets, ws.lengths, ws.buffer_starts):
+                    o, l, b = int(off), int(length), int(buf)
+                    out[b : b + l] = got[o - pos : o - pos + l]
+                have_data = True
+        pos = hi
+    prof.lap("other", t0)
+    return out if have_data else None

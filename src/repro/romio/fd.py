@@ -1,0 +1,110 @@
+"""The ADIO file descriptor shared by all ranks of a collective open.
+
+Mirrors ROMIO's ``ADIO_File``: the global file handle, the parsed hints,
+the aggregator list, the driver, and — new in the paper's implementation —
+the per-aggregator ``cache_fd`` (here a :class:`~repro.cache.CacheState`).
+Per-rank profilers live here too so the experiment harness can pull the
+phase breakdown after the run.
+
+``CollectiveCallState`` carries the per-``write_all`` shared scratch space
+(every rank's access pattern, the file domains, the precomputed per-round
+costs).  Ranks proceed through collective calls in lock-step, so call *n*
+of every rank maps to the same state object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.access import RankAccess, merge_extent_arrays
+from repro.cache.cachefile import CacheState
+from repro.mpi.comm import Communicator
+from repro.romio.aggregation import FileDomain
+from repro.romio.hints import Hints
+from repro.romio.profiling import Profiler
+
+
+@dataclass
+class CollectiveCallState:
+    """Shared scratch for one collective write call (all ranks)."""
+
+    index: int
+    accesses: dict[int, RankAccess] = field(default_factory=dict)
+    domains: Optional[list[FileDomain]] = None
+    ntimes: int = 0
+    # model-fidelity precomputations (filled by ext2ph._prepare_model)
+    sends: Optional[np.ndarray] = None  # [rank, agg, round] bytes
+    shuffle_durations: Optional[np.ndarray] = None  # [round]
+    alltoall_cost: float = 0.0
+    recv_bytes: Optional[np.ndarray] = None  # [agg, round]
+    recv_pieces: Optional[np.ndarray] = None  # [agg, round] offset/length pairs
+    merged_cov: Optional[tuple[np.ndarray, np.ndarray]] = None
+    min_st: int = 0
+    max_end: int = -1
+    interleaved: bool = True
+    prepared: bool = False
+
+    def coverage(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.merged_cov is None:
+            offs = [a.offsets for a in self.accesses.values()]
+            lens = [a.lengths for a in self.accesses.values()]
+            self.merged_cov = merge_extent_arrays(offs, lens)
+        return self.merged_cov
+
+
+class ADIOFile:
+    """Shared collective state for one open file."""
+
+    def __init__(
+        self,
+        machine,
+        comm: Communicator,
+        path: str,
+        hints: Hints,
+        driver,
+        pfs_file,
+        aggregators: list[int],
+        exchange_mode: str = "model",
+    ):
+        self.machine = machine
+        self.comm = comm
+        self.path = path
+        self.hints = hints
+        self.driver = driver
+        self.pfs_file = pfs_file
+        self.aggregators = aggregators
+        self.agg_index = {a: i for i, a in enumerate(aggregators)}
+        self.exchange_mode = exchange_mode
+        self.profilers: dict[int, Profiler] = {
+            r: Profiler(machine.sim, r) for r in range(comm.size)
+        }
+        self.cache_states: dict[int, Optional[CacheState]] = {}
+        self.cache_enabled_effective = hints.cache_enabled
+        self._calls: list[CollectiveCallState] = []
+        self._call_index: dict[int, int] = {}  # rank -> next call number
+        self.open_error: Optional[str] = None
+        self.closed_ranks: set[int] = set()
+
+    def is_aggregator(self, rank: int) -> bool:
+        return rank in self.agg_index
+
+    def profiler(self, rank: int) -> Profiler:
+        return self.profilers[rank]
+
+    def cache_state(self, rank: int) -> Optional[CacheState]:
+        return self.cache_states.get(rank)
+
+    def call_state(self, rank: int) -> CollectiveCallState:
+        """This rank's next collective-call slot (created on first arrival)."""
+        idx = self._call_index.get(rank, 0)
+        self._call_index[rank] = idx + 1
+        while len(self._calls) <= idx:
+            self._calls.append(CollectiveCallState(index=len(self._calls)))
+        return self._calls[idx]
+
+    @property
+    def node_of_rank(self):
+        return self.comm.node_of

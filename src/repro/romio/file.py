@@ -1,0 +1,209 @@
+"""MPI-IO file interface: ``MPI_File_open/write_all/sync/close``.
+
+:class:`MPIIOLayer` is the per-communicator entry point (one per
+machine+comm); each rank obtains an :class:`MPIFileHandle` from the
+collective :meth:`MPIIOLayer.open`.  All file methods are generators to be
+driven from rank processes.
+
+MPI-IO consistency semantics (paper Section III-B) are enforced here: data
+written through the cache becomes globally visible (persisted in the PFS)
+only after flush-immediate synchronisation completes, after ``sync()``
+returns, or after ``close()`` returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.access import RankAccess
+from repro.romio import datasieve, ext2ph
+from repro.romio.adio import get_driver
+from repro.romio.aggregation import select_aggregators
+from repro.romio.fd import ADIOFile
+from repro.romio.hints import Hints
+from repro.sim.core import SimError
+
+
+class MPIIOLayer:
+    """ROMIO instance bound to a machine and a communicator."""
+
+    def __init__(self, machine, comm, driver: str = "beegfs", exchange_mode: str = "auto"):
+        self.machine = machine
+        self.comm = comm
+        self.driver = get_driver(driver)
+        if exchange_mode == "auto":
+            exchange_mode = "flow" if comm.size <= 32 else "model"
+        if exchange_mode not in ("flow", "model"):
+            raise SimError(f"unknown exchange mode {exchange_mode!r}")
+        self.exchange_mode = exchange_mode
+        self._open_slots: dict[str, list[ADIOFile]] = {}
+        self._open_counts: dict[tuple[str, int], int] = {}
+
+    # -- collective open ----------------------------------------------------------
+    def open(self, rank: int, path: str, info: Optional[Mapping[str, Any]] = None):
+        """Generator: ``MPI_File_open`` (collective).  Returns a handle."""
+        gen = self._open_counts.get((path, rank), 0)
+        self._open_counts[(path, rank)] = gen + 1
+        slots = self._open_slots.setdefault(path, [])
+        if len(slots) <= gen:
+            hints = Hints.from_info(info)
+            aggregators = select_aggregators(
+                self.machine.config.num_nodes,
+                self.machine.config.procs_per_node,
+                hints.cb_nodes,
+                spread=hints.cb_config_spread,
+            )
+            slots.append(
+                ADIOFile(
+                    self.machine,
+                    self.comm,
+                    path,
+                    hints,
+                    self.driver,
+                    pfs_file=None,
+                    aggregators=aggregators,
+                    exchange_mode=self.exchange_mode,
+                )
+            )
+        fd = slots[gen]
+        prof = fd.profiler(rank)
+        t0 = prof.mark()
+        if rank == 0:
+            client = self.machine.pfs_client(0)
+            if self.machine.pfs.exists(path):
+                pfs_file = yield from client.open(path)
+            else:
+                pfs_file = yield from client.create(
+                    path,
+                    stripe_size=fd.hints.striping_unit,
+                    stripe_count=fd.hints.striping_factor,
+                )
+            fd.pfs_file = pfs_file
+            yield from self.comm.bcast(rank, True, root=0, nbytes=64)
+        else:
+            yield from self.comm.bcast(rank, None, root=0, nbytes=64)
+        if fd.pfs_file is None:  # pragma: no cover - bcast ordering guard
+            raise SimError("collective open: file handle missing after bcast")
+        yield from self.driver.open_cache(fd, rank)
+        prof.lap("open", t0)
+        return MPIFileHandle(self, fd, rank)
+
+
+class MPIFileHandle:
+    """One rank's view of an open MPI file."""
+
+    def __init__(self, layer: MPIIOLayer, fd: ADIOFile, rank: int):
+        self.layer = layer
+        self.fd = fd
+        self.rank = rank
+        self.closed = False
+
+    @property
+    def prof(self):
+        return self.fd.profiler(self.rank)
+
+    @property
+    def hints(self) -> Hints:
+        return self.fd.hints
+
+    def get_info(self) -> dict[str, str]:
+        """``MPI_File_get_info``."""
+        return self.fd.hints.to_info()
+
+    # -- writes ---------------------------------------------------------------------
+    def write_all(self, access: RankAccess):
+        """Generator: ``MPI_File_write_all`` over a flattened file view."""
+        self._check_open()
+        nbytes = yield from ext2ph.write_strided_coll(self.fd, self.rank, access, self.prof)
+        return nbytes
+
+    def write_at(self, offset: int, nbytes: int, data: Optional[np.ndarray] = None):
+        """Generator: independent contiguous write (``MPI_File_write_at``)."""
+        self._check_open()
+        n = yield from datasieve.write_contig_independent(
+            self.fd, self.rank, offset, nbytes, data, self.prof
+        )
+        return n
+
+    def write_strided(self, access: RankAccess):
+        """Generator: independent strided write (data sieving)."""
+        self._check_open()
+        n = yield from datasieve.write_strided(self.fd, self.rank, access, self.prof)
+        return n
+
+    # -- reads -----------------------------------------------------------------------
+    def read_all(self, access: RankAccess):
+        """Generator: ``MPI_File_read_all``.
+
+        Collective semantics (all ranks arrive, all leave together) with the
+        data path delegated to sieved independent reads of the global file.
+        Reads from the cache are unsupported — exactly the restriction the
+        paper states in Section III-B — so two-phase read aggregation (a
+        ROMIO feature orthogonal to the paper's contribution) is not
+        modelled; with ``e10_cache=coherent``, reads block on extents still
+        in transit.
+        """
+        self._check_open()
+        prof = self.prof
+        t0 = prof.mark()
+        yield from self.fd.comm.barrier(self.rank)
+        data = yield from datasieve.read_strided(self.fd, self.rank, access, prof)
+        yield from self.fd.comm.barrier(self.rank)
+        prof.lap("other", t0)
+        return data
+
+    def read_strided(self, access: RankAccess):
+        """Generator: independent strided read (data sieving)."""
+        self._check_open()
+        data = yield from datasieve.read_strided(self.fd, self.rank, access, self.prof)
+        return data
+
+    def read_at(self, offset: int, nbytes: int):
+        """Generator: independent read — always from the global file (reads
+        from the cache are unsupported, paper Section III-B).  In coherent
+        mode the read blocks on stripes whose data is still in transit."""
+        self._check_open()
+        client = self.layer.machine.pfs_client(self.rank)
+        coherent = self.fd.hints.cache_coherent
+        data = yield from client.read(self.fd.pfs_file, offset, nbytes, locking=coherent)
+        return data
+
+    # -- synchronisation ---------------------------------------------------------------
+    def sync(self):
+        """Generator: ``MPI_File_sync`` (collective) — after it returns, all
+        cached data written so far is globally visible."""
+        self._check_open()
+        prof = self.prof
+        t0 = prof.mark()
+        yield from self.fd.driver.flush(self.fd, self.rank)
+        yield from self.fd.comm.barrier(self.rank)
+        prof.lap("not_hidden_sync" if self.fd.hints.cache_enabled else "other", t0)
+
+    def close(self):
+        """Generator: ``MPI_File_close`` (collective).
+
+        With the cache enabled this is where any synchronisation not hidden
+        behind the application's compute phase is paid — charged to the
+        ``not_hidden_sync`` profile phase.
+        """
+        self._check_open()
+        prof = self.prof
+        t_flush = prof.mark()
+        yield from self.fd.driver.close_rank(self.fd, self.rank)
+        if self.fd.hints.cache_enabled:
+            prof.lap("not_hidden_sync", t_flush)
+        t0 = prof.mark()
+        if self.rank == 0:
+            client = self.layer.machine.pfs_client(0)
+            yield from client.close(self.fd.pfs_file)
+        yield from self.fd.comm.barrier(self.rank)
+        phase = "not_hidden_sync" if self.fd.hints.cache_enabled else "close"
+        prof.lap(phase, t0)
+        self.closed = True
+        self.fd.closed_ranks.add(self.rank)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SimError(f"rank {self.rank}: operation on closed file {self.fd.path}")

@@ -1,0 +1,151 @@
+"""MPI-IO hints: ROMIO's collective-I/O hints (paper Table I) plus the
+proposed E10 cache extensions (paper Table II).
+
+Unknown hints are ignored (per the MPI standard, implementations are free
+to ignore hints they do not understand); *known* hints with invalid values
+raise :class:`HintError`, which is stricter than ROMIO but catches
+experiment-configuration typos early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Optional
+
+from repro.units import KiB, MiB, parse_size
+
+
+class HintError(ValueError):
+    """An understood hint was given a value outside its domain."""
+
+
+_TRISTATE = ("enable", "disable", "automatic")
+_CACHE_MODES = ("enable", "disable", "coherent")
+# "flush_none" is an evaluation extension: cache but never synchronise —
+# used to measure the theoretical bandwidth (TBW) series of Figs. 4/7/9.
+_FLUSH_FLAGS = ("flush_immediate", "flush_onclose", "flush_none")
+_ONOFF = ("enable", "disable")
+
+
+@dataclass
+class Hints:
+    """Parsed hint set attached to an open file handle.
+
+    Field names follow the hint strings; see the ``from_info`` keys.
+    """
+
+    # --- Table I: collective I/O hints -------------------------------------
+    romio_cb_write: str = "automatic"
+    romio_cb_read: str = "automatic"
+    cb_buffer_size: int = 16 * MiB  # ROMIO default
+    cb_nodes: Optional[int] = None  # default: one aggregator per node
+    cb_config_spread: bool = True  # place aggregators evenly across nodes
+    # --- file layout hints ---------------------------------------------------
+    striping_factor: Optional[int] = None  # stripe count
+    striping_unit: Optional[int] = None  # stripe size [bytes]
+    # --- independent I/O -------------------------------------------------------
+    ind_wr_buffer_size: int = 512 * KiB  # also the cache sync chunk size
+    # --- Table II: proposed E10 cache extensions -----------------------------
+    e10_cache: str = "disable"
+    e10_cache_path: str = "/scratch"
+    e10_cache_flush_flag: str = "flush_onclose"
+    e10_cache_discard_flag: str = "enable"
+
+    unknown: dict[str, str] = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        return self.e10_cache in ("enable", "coherent")
+
+    @property
+    def cache_coherent(self) -> bool:
+        return self.e10_cache == "coherent"
+
+    @property
+    def flush_immediate(self) -> bool:
+        return self.e10_cache_flush_flag == "flush_immediate"
+
+    @property
+    def discard_on_close(self) -> bool:
+        return self.e10_cache_discard_flag == "enable"
+
+    # -- parsing -------------------------------------------------------------------
+    @classmethod
+    def from_info(cls, info: Optional[Mapping[str, Any]] = None) -> "Hints":
+        """Build a hint set from an MPI_Info-like mapping of strings."""
+        h = cls()
+        if not info:
+            return h
+        for key, raw in info.items():
+            value = str(raw)
+            if key == "romio_cb_write":
+                h.romio_cb_write = _choice(key, value, _TRISTATE)
+            elif key == "romio_cb_read":
+                h.romio_cb_read = _choice(key, value, _TRISTATE)
+            elif key == "cb_buffer_size":
+                h.cb_buffer_size = _size(key, value)
+            elif key == "cb_nodes":
+                h.cb_nodes = _positive_int(key, value)
+            elif key == "cb_config_spread":
+                h.cb_config_spread = _choice(key, value, _ONOFF) == "enable"
+            elif key == "striping_factor":
+                h.striping_factor = _positive_int(key, value)
+            elif key == "striping_unit":
+                h.striping_unit = _size(key, value)
+            elif key == "ind_wr_buffer_size":
+                h.ind_wr_buffer_size = _size(key, value)
+            elif key == "e10_cache":
+                h.e10_cache = _choice(key, value, _CACHE_MODES)
+            elif key == "e10_cache_path":
+                h.e10_cache_path = value
+            elif key == "e10_cache_flush_flag":
+                h.e10_cache_flush_flag = _choice(key, value, _FLUSH_FLAGS)
+            elif key == "e10_cache_discard_flag":
+                h.e10_cache_discard_flag = _choice(key, value, _ONOFF)
+            else:
+                h.unknown[key] = value  # MPI says: ignore, but keep for inspection
+        return h
+
+    def to_info(self) -> dict[str, str]:
+        """Round-trip back to the string form (MPI_File_get_info)."""
+        out: dict[str, str] = {}
+        for f in fields(self):
+            if f.name == "unknown":
+                continue
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if f.name == "cb_config_spread":
+                out[f.name] = "enable" if value else "disable"
+            else:
+                out[f.name] = str(value)
+        out.update(self.unknown)
+        return out
+
+
+def _choice(key: str, value: str, allowed: tuple[str, ...]) -> str:
+    v = value.strip().lower()
+    if v not in allowed:
+        raise HintError(f"hint {key}={value!r}: expected one of {allowed}")
+    return v
+
+
+def _size(key: str, value: str) -> int:
+    try:
+        n = parse_size(value)
+    except ValueError as exc:
+        raise HintError(f"hint {key}={value!r}: {exc}") from exc
+    if n <= 0:
+        raise HintError(f"hint {key}={value!r}: must be positive")
+    return n
+
+
+def _positive_int(key: str, value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError as exc:
+        raise HintError(f"hint {key}={value!r}: not an integer") from exc
+    if n <= 0:
+        raise HintError(f"hint {key}={value!r}: must be positive")
+    return n

@@ -1,0 +1,110 @@
+"""MPE-style phase profiling.
+
+The paper extracts the collective-write cost breakdown (Figs. 5, 6, 8, 10)
+from ROMIO with MPE; here every rank owns a :class:`Profiler` that
+accumulates wall-clock per named phase.  Phase names match the paper's
+figure legends:
+
+``shuffle_all2all`` — the dissemination ``MPI_Alltoall`` at the top of each
+round's exchange; ``comm`` — ``MPI_Waitall`` over the data sends/receives;
+``memcpy`` — assembling received pieces into the collective buffer;
+``write`` — ``ADIO_WriteContig``; ``post_write`` — the error-code
+``MPI_Allreduce`` after the last round; ``not_hidden_sync`` — cache
+synchronisation time not hidden behind compute, charged at close;
+``open``/``close``/``other`` — the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+PHASES = (
+    "open",
+    "offset_exch",
+    "shuffle_all2all",
+    "comm",
+    "memcpy",
+    "write",
+    "post_write",
+    "not_hidden_sync",
+    "close",
+    "other",
+)
+
+
+@dataclass
+class PhaseProfile:
+    """Accumulated seconds per phase for one rank (or an aggregate)."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative duration {dt} for {phase}")
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + dt
+
+    def get(self, phase: str) -> float:
+        return self.seconds.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def merged_with(self, other: "PhaseProfile") -> "PhaseProfile":
+        out = PhaseProfile(dict(self.seconds))
+        for phase, dt in other.seconds.items():
+            out.add(phase, dt)
+        return out
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(self.seconds.items())
+
+
+class Profiler:
+    """Per-rank phase timer bound to the simulation clock.
+
+    Usage inside a rank generator::
+
+        with prof.phase("write") as _:
+            ...  # not possible with generators; use explicit marks instead
+
+        t0 = prof.mark()
+        yield from ...
+        prof.lap("write", t0)
+    """
+
+    def __init__(self, sim, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self.profile = PhaseProfile()
+
+    def mark(self) -> float:
+        return self.sim.now
+
+    def lap(self, phase: str, t0: float) -> float:
+        dt = self.sim.now - t0
+        self.profile.add(phase, dt)
+        return dt
+
+
+def aggregate_max(profiles: list[PhaseProfile]) -> PhaseProfile:
+    """Per-phase maximum across ranks — the straggler view the paper plots."""
+    out = PhaseProfile()
+    for phase in PHASES:
+        worst = max((p.get(phase) for p in profiles), default=0.0)
+        if worst > 0:
+            out.add(phase, worst)
+    return out
+
+
+def aggregate_mean(profiles: list[PhaseProfile]) -> PhaseProfile:
+    if not profiles:
+        return PhaseProfile()
+    out = PhaseProfile()
+    for phase in PHASES:
+        vals = [p.get(phase) for p in profiles]
+        mean = sum(vals) / len(vals)
+        if mean > 0:
+            out.add(phase, mean)
+    return out

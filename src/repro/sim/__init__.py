@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free DES engine in the style of SimPy: simulation
+processes are Python generators that ``yield`` :class:`~repro.sim.core.Event`
+objects and are resumed when those events fire.  Everything in the
+reproduction — MPI ranks, I/O servers, cache sync threads — is a process on
+one shared :class:`~repro.sim.core.Simulator`.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SimError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,343 @@
+"""Event loop and generator-coroutine processes.
+
+The engine follows the classic event-list design: a binary heap of
+``(time, sequence, event)`` entries.  Processes are generators; yielding an
+:class:`Event` suspends the process until the event succeeds (the event's
+value is sent back into the generator) or fails (the failure exception is
+thrown into it).  ``yield from`` composes sub-routines, which is how the
+whole ROMIO port is written.
+
+Determinism: two events scheduled for the same timestamp fire in scheduling
+order (the monotonically increasing sequence number breaks ties), so a run
+with a fixed RNG seed is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+ProcGen = Generator["Event", Any, Any]
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* (scheduled to fire) via :meth:`succeed` or
+    :meth:`fail` and *fired* when the simulator pops it off the event list
+    and resumes its waiters.  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._fired = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimError(f"event {self!r} has no outcome yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by throwing ``exc`` into waiters."""
+        if self._triggered:
+            raise SimError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("Event.fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
+        label = f" {self.name}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; created pre-triggered."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator.  As an Event it fires when the generator returns.
+
+    The event value is the generator's return value; if the generator raises,
+    waiters see the exception (unless nobody waits, in which case the error
+    propagates out of :meth:`Simulator.run` to avoid silent loss).
+    """
+
+    __slots__ = ("gen", "_target", "_defunct")
+
+    def __init__(self, sim: "Simulator", gen: ProcGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise SimError(f"process body must be a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self._target: Optional[Event] = None
+        self._defunct = False
+        # Bootstrap: resume the generator at time now.
+        boot = Event(sim, name=f"init:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered or self._defunct:
+            return
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed()
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(send=event._value)
+        else:
+            self._step(throw=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._defunct:
+            return
+        self.sim.active_process = self
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            self._defunct = True
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._defunct = True
+            self.fail(exc)
+            return
+        finally:
+            self.sim.active_process = None
+        if not isinstance(target, Event):
+            self._defunct = True
+            self.fail(SimError(f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        if target._fired:
+            # Already fired (e.g. a stored value event): resume immediately
+            # via a zero-delay kick so we don't recurse unboundedly.
+            kick = Event(self.sim, name=f"rekick:{self.name}")
+            kick._ok, kick._value = target._ok, target._value
+            kick._triggered = True
+            kick.callbacks.append(self._resume)
+            self.sim._schedule(kick, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+        self._target = target
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name=type(self).__name__)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev._fired:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+                self._pending += 1
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every child event has fired; value is the list of values.
+
+    A failing child fails the condition with the child's exception.
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        self._done = 0
+        super().__init__(sim, events)
+        self._check()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        self._check()
+
+    def _check(self) -> None:
+        if not self._triggered and self._done == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok:
+            self.succeed(event)
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop.  One instance per simulated cluster run."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+        self._event_count = 0
+
+    # -- construction helpers ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimError("event list corrupted: time went backwards")
+        self.now = when
+        event._fired = True
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            raise event._value  # unhandled failure of a bare event
+        if isinstance(event, Process) and not event._ok and not callbacks:
+            raise event._value  # a crashed process nobody waited on
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the event list drains, a deadline passes, or an event fires.
+
+        ``until`` may be a timestamp or an Event (e.g. a Process); when it is
+        an event, its value is returned.
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel._fired:
+                if not self._heap:
+                    raise SimError(
+                        f"deadlock: event list empty but {sentinel!r} never fired"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
+        deadline = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if until is not None and self.now < deadline:
+            self.now = deadline
+        return None
+
+    @property
+    def events_fired(self) -> int:
+        return self._event_count

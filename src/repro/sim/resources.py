@@ -1,0 +1,112 @@
+"""Queueing primitives built on the event kernel.
+
+:class:`Resource` is a counted FIFO server (device queues, lock slots);
+:class:`Store` is an unbounded FIFO mailbox used for message queues and the
+cache sync thread's work queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.core import Event, SimError, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = Event(self.sim, name=f"acquire:{self.name}")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+
+    def acquire(self) -> Generator[Event, Any, "Resource"]:
+        """``yield from resource.acquire()`` convenience wrapper."""
+        yield self.request()
+        return self
+
+    def use(self, duration_fn: Callable[[], float]):
+        """Process body: hold the resource for ``duration_fn()`` sim-seconds."""
+
+        def _body():
+            yield self.request()
+            try:
+                yield self.sim.timeout(duration_fn())
+            finally:
+                self.release()
+
+        return _body()
+
+
+class Store:
+    """Unbounded FIFO of items; ``get`` blocks until an item is available."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

@@ -1,0 +1,44 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (each I/O server's jitter, each device, the
+aggregator placement shuffle) draws from its own named stream derived from a
+single experiment seed, so adding a new consumer never perturbs existing
+ones and every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of independent, name-keyed ``numpy`` generators."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(child_seed)
+            self._streams[name] = gen
+        return gen
+
+    def lognormal_factor(self, name: str, sigma: float) -> float:
+        """Draw a mean-1 lognormal multiplier — the standard service-jitter model.
+
+        ``sigma`` is the shape parameter; ``sigma == 0`` returns exactly 1.0,
+        letting callers disable jitter without branching.
+        """
+        if sigma <= 0.0:
+            return 1.0
+        # mean of lognormal(mu, sigma) is exp(mu + sigma^2/2); choose mu so
+        # the mean is 1 and jitter never biases average throughput.
+        mu = -0.5 * sigma * sigma
+        return float(self.stream(name).lognormal(mu, sigma))

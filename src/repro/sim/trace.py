@@ -1,0 +1,42 @@
+"""Lightweight timeline tracing.
+
+Components append :class:`TraceRecord` rows into a shared :class:`Tracer`;
+tests and the experiment report use them to reconstruct what happened (which
+server served which RPC, when each sync chunk landed, ...).  Tracing is off
+by default — appending is a no-op unless enabled — so benchmark runs pay
+nothing for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    component: str
+    event: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, component: str, event: str, **detail: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, component, event, detail))
+
+    def filter(self, component: str | None = None, event: str | None = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if component is not None and rec.component != component:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,49 @@
+"""Workload step/recipe types shared by all three benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.access import RankAccess
+
+AccessFn = Callable[[int], RankAccess]
+
+
+@dataclass(frozen=True)
+class IOStep:
+    """One I/O operation inside a file phase.
+
+    ``collective`` steps provide ``access_fn(rank)``; ``rank0`` steps are
+    small independent metadata writes (headers/attributes) from rank 0 only,
+    as HDF5 produces.
+    """
+
+    kind: str  # "collective" | "rank0"
+    label: str = ""
+    access_fn: Optional[AccessFn] = None
+    offset: int = 0
+    nbytes: int = 0
+
+    @staticmethod
+    def collective(access_fn: AccessFn, label: str = "") -> "IOStep":
+        return IOStep(kind="collective", label=label, access_fn=access_fn)
+
+    @staticmethod
+    def rank0(offset: int, nbytes: int, label: str = "") -> "IOStep":
+        return IOStep(kind="rank0", label=label, offset=offset, nbytes=nbytes)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named recipe: the per-file steps plus bookkeeping totals."""
+
+    name: str
+    nprocs: int
+    steps: tuple[IOStep, ...]
+    bytes_per_rank: int
+    file_size: int
+    detail: dict = field(default_factory=dict)
+
+    def total_bytes(self) -> int:
+        return self.file_size

@@ -1,0 +1,48 @@
+"""IOR: segmented shared-file collective writes.
+
+The paper's configuration: each of the 512 ranks writes one 8 MB block per
+segment for 8 segments — a 32 GB shared file.  IOR issues one collective
+write per segment; within a segment the blocks are laid out in rank order:
+
+    offset(rank, segment) = segment * (nprocs * block) + rank * block
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.access import RankAccess
+from repro.workloads.base import IOStep, Workload
+
+
+def ior_workload(
+    nprocs: int,
+    block_bytes: int = 8 * 1024 * 1024,
+    segments: int = 8,
+    with_data: bool = False,
+    seed: int = 0,
+) -> Workload:
+    """Build the IOR pattern: ``segments`` collective steps of one block each."""
+    if block_bytes <= 0 or segments <= 0:
+        raise ValueError("block_bytes and segments must be positive")
+    seg_bytes = nprocs * block_bytes
+
+    def make_step(segment: int) -> IOStep:
+        def access_fn(rank: int) -> RankAccess:
+            offset = segment * seg_bytes + rank * block_bytes
+            data = None
+            if with_data:
+                rng = np.random.default_rng((seed * 7 + segment) * 100003 + rank)
+                data = rng.integers(0, 256, size=block_bytes, dtype=np.uint8)
+            return RankAccess.contiguous(offset, block_bytes, data)
+
+        return IOStep.collective(access_fn, label=f"segment{segment}")
+
+    return Workload(
+        name="ior",
+        nprocs=nprocs,
+        steps=tuple(make_step(s) for s in range(segments)),
+        bytes_per_rank=block_bytes * segments,
+        file_size=seg_bytes * segments,
+        detail={"block_bytes": block_bytes, "segments": segments},
+    )

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.analysis.bandwidth import (
+    BandwidthModel,
+    eq1_phase_bandwidth,
+    eq2_average_bandwidth,
+    perceived_bandwidth,
+)
+from repro.config import deep_er_testbed
+from repro.units import GiB, KiB
+from repro.workloads.phases import PhaseTiming
+
+
+class TestEquations:
+    def test_eq1_sync_fully_hidden(self):
+        # C(k+1) >= T_s(k): denominator is just T_c
+        assert eq1_phase_bandwidth(S=100.0, Tc=2.0, Ts=10.0, C_next=30.0) == 50.0
+
+    def test_eq1_sync_partially_hidden(self):
+        # 10 s sync, 4 s compute: 6 s leak into the denominator
+        assert eq1_phase_bandwidth(100.0, 2.0, 10.0, 4.0) == pytest.approx(12.5)
+
+    def test_eq1_no_compute(self):
+        # the IOR last phase: C = 0, full T_s paid
+        assert eq1_phase_bandwidth(100.0, 2.0, 10.0, 0.0) == pytest.approx(100 / 12)
+
+    def test_eq1_invalid(self):
+        with pytest.raises(ValueError):
+            eq1_phase_bandwidth(100.0, 0.0, 0.0, 0.0)
+
+    def test_eq2_matches_sum_of_phases(self):
+        S = [100.0] * 4
+        Tc = [2.0] * 4
+        Ts = [10.0] * 4
+        C = [30.0, 30.0, 30.0, 0.0]  # last phase unhidden
+        bw = eq2_average_bandwidth(S, Tc, Ts, C)
+        assert bw == pytest.approx(400.0 / (4 * 2.0 + 10.0))
+
+    def test_eq2_length_mismatch(self):
+        with pytest.raises(ValueError):
+            eq2_average_bandwidth([1], [1, 2], [0], [0])
+
+
+class TestPerceivedBandwidth:
+    def _timings(self, write, wait_last):
+        t = [PhaseTiming(open_time=0.0, write_time=write) for _ in range(3)]
+        t[-1].close_wait = wait_last
+        return [t]
+
+    def test_exclude_last_phase_wait(self):
+        timings = self._timings(2.0, 10.0)
+        bw_excl = perceived_bandwidth(timings, 100.0, include_last_phase=False)
+        bw_incl = perceived_bandwidth(timings, 100.0, include_last_phase=True)
+        assert bw_excl == pytest.approx(300.0 / 6.0)
+        assert bw_incl == pytest.approx(300.0 / 16.0)
+
+    def test_slowest_rank_bounds(self):
+        fast = [PhaseTiming(write_time=1.0)]
+        slow = [PhaseTiming(write_time=4.0)]
+        bw = perceived_bandwidth([fast, slow], 100.0)
+        assert bw == pytest.approx(25.0)
+
+
+class TestClosedFormModel:
+    @pytest.fixture
+    def model(self):
+        return BandwidthModel(deep_er_testbed())
+
+    def test_sync_thread_rate_near_calibration(self, model):
+        rate = model.sync_thread_rate(512 * KiB)
+        # calibrated to ≈95 MB/s per thread
+        assert 60e6 < rate < 140e6
+
+    def test_eight_aggregators_cannot_hide_thirty_seconds(self, model):
+        assert not model.hidden(32 * GiB, aggregators=8, chunk=512 * KiB, compute=30.0)
+
+    def test_sixteen_aggregators_hide(self, model):
+        assert model.hidden(32 * GiB, aggregators=16, chunk=512 * KiB, compute=30.0)
+
+    def test_sixtyfour_aggregators_hide(self, model):
+        assert model.hidden(32 * GiB, aggregators=64, chunk=512 * KiB, compute=30.0)
+
+    def test_flush_time_monotone_in_aggregators(self, model):
+        times = [model.flush_time(32 * GiB, a, 512 * KiB) for a in (8, 16, 32, 64)]
+        assert times == sorted(times, reverse=True)
+
+    def test_bigger_chunks_flush_faster(self, model):
+        slow = model.flush_time(32 * GiB, 8, 128 * KiB)
+        fast = model.flush_time(32 * GiB, 8, 4 * 1024 * KiB)
+        assert fast < slow
+
+    def test_pfs_collective_floor_near_two_gib(self, model):
+        t = model.pfs_collective_write_time(32 * GiB)
+        bw = 32 * GiB / t
+        assert 1.5 * GiB < bw < 3.5 * GiB  # the paper's ≈2 GB/s plateau
+
+    def test_cache_write_floor_scales_with_aggregators(self, model):
+        t8 = model.cache_write_time(32 * GiB, 8)
+        t64 = model.cache_write_time(32 * GiB, 64)
+        assert t64 < t8 / 4

@@ -1,0 +1,53 @@
+"""The figure-regeneration API at miniature scale (structure, not shapes —
+the shapes are asserted by tests/integration/test_shapes.py and the
+benchmarks)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.units import MiB
+
+TINY_AGGS = (8, 64)
+TINY_CBS = (16 * MiB,)
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figures.fig4_collperf_bandwidth(TINY_AGGS, TINY_CBS, scale=SCALE)
+
+
+class TestBandwidthFigures:
+    def test_labels(self, fig4):
+        assert set(fig4) == {"8_16M", "64_16M"}
+
+    def test_three_series(self, fig4):
+        for row in fig4.values():
+            assert set(row) == set(figures.SERIES)
+            assert all(v > 0 for v in row.values())
+
+    def test_tbw_at_least_perceived(self, fig4):
+        for row in fig4.values():
+            assert row["TBW Cache Enable"] >= row["BW Cache Enable"] * 0.99
+
+    def test_fig9_includes_last_phase(self):
+        fig9 = figures.fig9_ior_bandwidth(TINY_AGGS, TINY_CBS, scale=SCALE)
+        for row in fig9.values():
+            # with the last phase charged, enabled BW < TBW strictly
+            assert row["BW Cache Enable"] < row["TBW Cache Enable"]
+
+
+class TestBreakdownFigures:
+    def test_fig5_phases(self):
+        data = figures.fig5_collperf_breakdown_cache(TINY_AGGS, TINY_CBS, scale=SCALE)
+        for row in data.values():
+            assert "write" in row and "comm" in row
+
+    def test_fig6_no_not_hidden_sync(self):
+        data = figures.fig6_collperf_breakdown_nocache(TINY_AGGS, TINY_CBS, scale=SCALE)
+        for row in data.values():
+            assert row.get("not_hidden_sync", 0.0) == 0.0
+
+    def test_sweep_labels_helper(self):
+        labels = figures.sweep_labels([8, 16], [4 * MiB, 64 * MiB])
+        assert labels == ["8_4M", "8_64M", "16_4M", "16_64M"]

@@ -1,0 +1,99 @@
+"""Paper-shape assertions at reduced scale (the acceptance criteria of
+DESIGN.md §4).  These run full 512-rank model-fidelity experiments and take
+a few seconds each; they are the repository's reproduction gate."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSpec, run_experiment_cached
+from repro.units import GiB, MiB
+
+SCALE = 0.05  # ~1.6 GiB files: fast, all mechanisms engaged
+COMMON = dict(scale=SCALE, num_files=4, flush_batch_chunks=16)
+
+
+def point(bench, agg, mode, cb=16 * MiB):
+    return run_experiment_cached(
+        ExperimentSpec(bench, aggregators=agg, cb_buffer=cb, cache_mode=mode, **COMMON)
+    )
+
+
+@pytest.mark.slow
+class TestPaperShapes:
+    def test_disabled_plateau_flat_across_aggregators(self):
+        bws = [point("ior", a, "disabled").bw for a in (8, 16, 32, 64)]
+        assert max(bws) / min(bws) < 2.0  # the ≈2 GB/s plateau
+
+    def test_cache_speedup_at_64_aggregators(self):
+        """Fig. 4/7/9: with enough aggregators, the cache wins by a lot."""
+        for bench in ("coll_perf", "flash_io", "ior"):
+            fast = point(bench, 64, "enabled").bw
+            slow = point(bench, 64, "disabled").bw
+            assert fast > 3 * slow, (bench, fast / GiB, slow / GiB)
+
+    def test_eight_aggregators_cannot_hide_sync(self):
+        """Fig. 4/5: at 8 aggregators the flush leaks into the perceived BW;
+        it can even drop below the cache-disabled case."""
+        r = point("ior", 8, "enabled")
+        tbw = point("ior", 8, "theoretical").bw
+        assert r.close_wait > 0.1  # not_hidden_sync present
+        assert r.bw < 0.9 * tbw
+
+    def test_sixteen_plus_aggregators_hide_sync(self):
+        for agg in (16, 32, 64):
+            r = point("ior", agg, "enabled")
+            # only the *last* phase's sync is unhidden for IOR
+            assert r.bw == pytest.approx(point("ior", agg, "theoretical").bw, rel=0.1)
+
+    def test_tbw_scales_with_aggregator_count(self):
+        """Fig. 4: the theoretical series grows with aggregators (more SSDs)."""
+        tbws = [point("coll_perf", a, "theoretical").tbw for a in (8, 16, 32, 64)]
+        assert tbws[-1] > 2 * tbws[0]
+
+    def test_ior_capped_by_last_phase(self):
+        """Fig. 9: IOR's bandwidth including the last phase is far below the
+        theoretical series, but still above cache-disabled."""
+        r = point("ior", 64, "enabled")
+        disabled = point("ior", 64, "disabled")
+        assert r.bw_incl_last < 0.5 * r.tbw
+        assert r.bw_incl_last > 1.5 * disabled.bw_incl_last
+
+    def test_flashio_fastest_collperf_middle(self):
+        """Figs. 4 vs 7: Flash-IO's rank-contiguous pattern peaks above
+        coll_perf's fine-grained strided pattern.  Needs enough volume per
+        variable for per-call overheads to amortise, hence a larger scale."""
+        spec = dict(num_files=4, flush_batch_chunks=16, scale=0.2)
+        flash = run_experiment_cached(
+            ExperimentSpec("flash_io", aggregators=64, cache_mode="theoretical", **spec)
+        ).tbw
+        collp = run_experiment_cached(
+            ExperimentSpec("coll_perf", aggregators=64, cache_mode="theoretical", **spec)
+        ).tbw
+        assert flash > collp
+
+    def test_small_buffers_fine_with_cache(self):
+        """Fig. 5 discussion: with the cache, larger collective buffers give
+        little benefit — small buffers suffice (reduced memory pressure)."""
+        small = point("coll_perf", 64, "enabled", cb=4 * MiB)
+        large = point("coll_perf", 64, "enabled", cb=64 * MiB)
+        assert small.bw > 0.4 * large.bw
+        assert small.peak_pinned < large.peak_pinned / 8
+
+    def test_global_sync_reduced_with_cache(self):
+        """Figs. 5 vs 6: shuffle_all2all + post_write shrink when the write
+        target is the fast local cache."""
+        enabled = point("coll_perf", 64, "enabled").breakdown
+        disabled = point("coll_perf", 64, "disabled").breakdown
+        sync_on = enabled.get("shuffle_all2all", 0) + enabled.get("post_write", 0)
+        sync_off = disabled.get("shuffle_all2all", 0) + disabled.get("post_write", 0)
+        assert sync_on < sync_off
+
+    def test_not_hidden_sync_only_at_8_aggregators(self):
+        """Fig. 5: the not_hidden_sync bar appears at 8 aggregators and
+        vanishes at 64."""
+        bd8 = point("coll_perf", 8, "enabled")
+        bd64 = point("coll_perf", 64, "enabled")
+        # exclude the final phase (never hidden): close_wait counts all
+        # phases, so compare per-phase breakdowns instead
+        waits8 = bd8.close_wait
+        waits64 = bd64.close_wait
+        assert waits8 > waits64

@@ -1,0 +1,185 @@
+import pytest
+
+from repro.config import small_testbed
+from repro.machine import Machine
+from repro.mpi.collectives import op_max, op_min, op_sum
+from repro.mpi.process import MPIWorld
+from repro.sim.core import SimError
+
+
+def run_both_modes(body_factory, num_nodes=4, procs_per_node=2):
+    """Run the same SPMD body under both collective engines."""
+    out = {}
+    for mode in ("model", "algorithmic"):
+        machine = Machine(small_testbed(num_nodes, procs_per_node))
+        world = MPIWorld(machine, collective_mode=mode)
+        out[mode] = world.run(body_factory())
+    return out["model"], out["algorithmic"]
+
+
+class TestEquivalence:
+    """The model engine must return exactly what the real algorithms return."""
+
+    def test_allreduce_sum(self):
+        def factory():
+            def body(ctx):
+                total = yield from ctx.comm.allreduce(ctx.rank, ctx.rank + 1)
+                return total
+
+            return body
+
+        model, algo = run_both_modes(factory)
+        assert model == algo == [36] * 8
+
+    def test_allreduce_max_min(self):
+        def factory():
+            def body(ctx):
+                hi = yield from ctx.comm.allreduce(ctx.rank, ctx.rank, op_max)
+                lo = yield from ctx.comm.allreduce(ctx.rank, ctx.rank, op_min)
+                return (hi, lo)
+
+            return body
+
+        model, algo = run_both_modes(factory)
+        assert model == algo == [(7, 0)] * 8
+
+    def test_alltoall(self):
+        def factory():
+            def body(ctx):
+                vals = yield from ctx.comm.alltoall(
+                    ctx.rank, [ctx.rank * 100 + d for d in range(ctx.nprocs)]
+                )
+                return vals
+
+            return body
+
+        model, algo = run_both_modes(factory)
+        assert model == algo
+        for r, row in enumerate(model):
+            assert row == [s * 100 + r for s in range(8)]
+
+    def test_bcast_nonzero_root(self):
+        def factory():
+            def body(ctx):
+                v = yield from ctx.comm.bcast(
+                    ctx.rank, f"from{ctx.rank}" if ctx.rank == 5 else None, root=5
+                )
+                return v
+
+            return body
+
+        model, algo = run_both_modes(factory)
+        assert model == algo == ["from5"] * 8
+
+    def test_allgather(self):
+        def factory():
+            def body(ctx):
+                vals = yield from ctx.comm.allgather(ctx.rank, ctx.rank**2)
+                return vals
+
+            return body
+
+        model, algo = run_both_modes(factory)
+        assert model == algo == [[r**2 for r in range(8)]] * 8
+
+    def test_non_power_of_two_allreduce(self):
+        def factory():
+            def body(ctx):
+                total = yield from ctx.comm.allreduce(ctx.rank, ctx.rank)
+                return total
+
+            return body
+
+        out = {}
+        for mode in ("model", "algorithmic"):
+            machine = Machine(small_testbed(3, 2))  # 6 ranks
+            world = MPIWorld(machine, collective_mode=mode)
+            out[mode] = world.run(factory())
+        assert out["model"] == out["algorithmic"] == [15] * 6
+
+
+class TestSynchronisation:
+    def test_barrier_waits_for_slowest(self):
+        machine = Machine(small_testbed())
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            yield from ctx.compute(ctx.rank * 0.1)
+            yield from ctx.comm.barrier(ctx.rank)
+            return ctx.now
+
+        times = world.run(body)
+        slowest_arrival = 0.7
+        assert all(t >= slowest_arrival for t in times)
+        assert max(times) - min(times) < 1e-9  # all released together
+
+    def test_timed_collective_duration(self):
+        machine = Machine(small_testbed())
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            t0 = ctx.now
+            yield from ctx.comm.timed(ctx.rank, 0.25, "phase")
+            return ctx.now - t0
+
+        durations = world.run(body)
+        assert max(durations) == pytest.approx(0.25, abs=1e-6)
+
+    def test_collective_mismatch_detected(self):
+        machine = Machine(small_testbed(2, 1))
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.barrier(ctx.rank)
+            else:
+                yield from ctx.comm.allreduce(ctx.rank, 1)
+
+        with pytest.raises(SimError, match="collective mismatch"):
+            world.run(body)
+
+    def test_shuffle_returns_inbound_totals(self):
+        machine = Machine(small_testbed(2, 2))
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            out = {0: 100.0} if ctx.rank != 0 else {}
+            inbound = yield from ctx.comm.shuffle(ctx.rank, out, msg_count=1)
+            return inbound
+
+        res = world.run(body)
+        assert res[0] == pytest.approx(300.0)
+        assert res[1] == 0.0
+
+    def test_successive_collectives_keep_order(self):
+        machine = Machine(small_testbed())
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            a = yield from ctx.comm.allreduce(ctx.rank, 1)
+            b = yield from ctx.comm.allreduce(ctx.rank, 2)
+            c = yield from ctx.comm.allreduce(ctx.rank, 3)
+            return (a, b, c)
+
+        res = world.run(body)
+        assert res == [(8, 16, 24)] * 8
+
+
+class TestCostModel:
+    def test_alltoall_cost_grows_with_size(self):
+        machine = Machine(small_testbed())
+        world = MPIWorld(machine)
+        costs = world.comm.costs
+        assert costs.alltoall(8, 1024) > costs.alltoall(8, 16)
+
+    def test_small_collective_log_scaling(self):
+        machine = Machine(small_testbed())
+        costs = MPIWorld(machine).comm.costs
+        assert costs.small_collective(512) > costs.small_collective(8)
+
+    def test_shuffle_bounded_by_hot_nic(self):
+        machine = Machine(small_testbed())
+        costs = MPIWorld(machine).comm.costs
+        d1 = costs.shuffle({0: 1e9}, {1: 1e9}, 1)
+        d2 = costs.shuffle({0: 0.5e9, 1: 0.5e9}, {2: 0.5e9, 3: 0.5e9}, 1)
+        assert d1 > d2  # spreading traffic over NICs halves the hot spot

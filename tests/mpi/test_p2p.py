@@ -1,0 +1,130 @@
+import pytest
+
+from repro.config import small_testbed
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+from repro.sim.core import SimError
+
+
+@pytest.fixture
+def world():
+    return MPIWorld(Machine(small_testbed()))
+
+
+class TestSendRecv:
+    def test_blocking_pair(self, world):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(0, 1, 7, {"k": 1}, 128)
+                return None
+            if ctx.rank == 1:
+                msg = yield from ctx.comm.recv(1, source=0, tag=7)
+                return msg.payload
+            return None
+
+        res = world.run(body)
+        assert res[1] == {"k": 1}
+
+    def test_isend_irecv_waitall(self, world):
+        def body(ctx):
+            P = ctx.nprocs
+            reqs = [
+                ctx.comm.isend(ctx.rank, (ctx.rank + 1) % P, 3, ctx.rank, 64)
+            ]
+            recv = ctx.comm.irecv(ctx.rank, source=(ctx.rank - 1) % P, tag=3)
+            yield from ctx.comm.waitall(reqs + [recv])
+            return recv.result().payload
+
+        res = world.run(body)
+        assert res == [(r - 1) % 8 for r in range(8)]
+
+    def test_waitall_empty(self, world):
+        def body(ctx):
+            out = yield from ctx.comm.waitall([])
+            return out
+
+        assert world.run(body) == [[]] * 8
+
+    def test_isend_invalid_rank(self, world):
+        def body(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(SimError):
+                    ctx.comm.isend(0, 99, 0, None, 1)
+            yield ctx.sim.timeout(0)
+
+        world.run(body)
+
+    def test_bigger_messages_take_longer(self, world):
+        def body(ctx):
+            if ctx.rank == 0:
+                t0 = ctx.now
+                yield from ctx.comm.send(0, 2, 1, None, 1024)
+                small = ctx.now - t0
+                t0 = ctx.now
+                yield from ctx.comm.send(0, 2, 2, None, 1024 * 1024)
+                big = ctx.now - t0
+                return (small, big)
+            if ctx.rank == 2:
+                yield from ctx.comm.recv(2, tag=1)
+                yield from ctx.comm.recv(2, tag=2)
+            else:
+                yield ctx.sim.timeout(0)
+            return None
+
+        res = world.run(body)
+        small, big = res[0]
+        assert big > small
+
+
+class TestGeneralizedRequests:
+    def test_external_completion(self, world):
+        def body(ctx):
+            if ctx.rank != 0:
+                yield ctx.sim.timeout(0)
+                return None
+            greq = ctx.comm.grequest_start(meta={"what": "sync"})
+
+            def completer():
+                yield ctx.sim.timeout(2.0)
+                greq.complete("persisted")
+
+            ctx.sim.process(completer())
+            value = yield from greq.wait()
+            return (value, ctx.now)
+
+        res = world.run(body)
+        assert res[0] == ("persisted", 2.0)
+
+    def test_wait_after_complete_returns_immediately(self, world):
+        def body(ctx):
+            yield ctx.sim.timeout(0)
+            greq = ctx.comm.grequest_start()
+            greq.complete(41)
+            v = yield from greq.wait()
+            return v
+
+        assert world.run(body) == [41] * 8
+
+    def test_failed_grequest_raises(self, world):
+        def body(ctx):
+            yield ctx.sim.timeout(0)
+            if ctx.rank != 0:
+                return "ok"
+            greq = ctx.comm.grequest_start()
+            greq.fail(OSError("flush failed"))
+            with pytest.raises(OSError):
+                yield from greq.wait()
+            return "caught"
+
+        assert world.run(body)[0] == "caught"
+
+    def test_complete_now_flag(self, world):
+        def body(ctx):
+            yield ctx.sim.timeout(0)
+            greq = ctx.comm.grequest_start()
+            before = greq.complete_now
+            greq.complete()
+            yield ctx.sim.timeout(0)
+            return (before, greq.complete_now)
+
+        assert world.run(body)[0] == (False, True)

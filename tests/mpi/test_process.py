@@ -1,0 +1,56 @@
+import pytest
+
+from repro.config import small_testbed
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+
+
+class TestMPIWorld:
+    def test_rank_node_layout(self):
+        world = MPIWorld(Machine(small_testbed(4, 2)))
+        assert [world.comm.node_of(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_contexts(self):
+        machine = Machine(small_testbed(4, 2))
+        world = MPIWorld(machine)
+        ctxs = world.contexts()
+        assert [c.rank for c in ctxs] == list(range(8))
+        assert ctxs[5].node is machine.nodes[2]
+        assert ctxs[0].nprocs == 8
+
+    def test_aggregator_candidate(self):
+        world = MPIWorld(Machine(small_testbed(4, 2)))
+        flags = [c.is_aggregator_candidate() for c in world.contexts()]
+        assert flags == [True, False] * 4
+
+    def test_run_returns_in_rank_order(self):
+        world = MPIWorld(Machine(small_testbed(2, 2)))
+
+        def body(ctx):
+            # later ranks finish earlier — results must still be rank-ordered
+            yield from ctx.compute(1.0 / (ctx.rank + 1))
+            return ctx.rank * 10
+
+        assert world.run(body) == [0, 10, 20, 30]
+
+    def test_compute_advances_clock(self):
+        machine = Machine(small_testbed(2, 1))
+        world = MPIWorld(machine)
+
+        def body(ctx):
+            yield from ctx.compute(2.0)
+            return ctx.now
+
+        assert world.run(body) == [2.0, 2.0]
+
+    def test_crash_in_one_rank_propagates(self):
+        world = MPIWorld(Machine(small_testbed(2, 1)))
+
+        def body(ctx):
+            yield ctx.sim.timeout(0.1)
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 died")
+            yield ctx.sim.timeout(10.0)
+
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            world.run(body)

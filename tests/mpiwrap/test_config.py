@@ -1,0 +1,72 @@
+import pytest
+
+from repro.mpiwrap.config import WrapConfig, WrapConfigError, base_name
+
+
+SAMPLE = """
+# hints for checkpoint files
+[/run/ckpt_*]
+e10_cache = enable
+e10_cache_flush_flag = flush_immediate
+defer_close = true
+
+[*.plt]
+e10_cache = disable
+"""
+
+
+class TestParsing:
+    def test_sections(self):
+        cfg = WrapConfig.parse(SAMPLE)
+        assert len(cfg.sections) == 2
+        assert cfg.sections[0].pattern == "/run/ckpt_*"
+        assert cfg.sections[0].hints["e10_cache"] == "enable"
+        assert cfg.sections[0].defer_close is True
+        assert cfg.sections[1].defer_close is False
+
+    def test_comments_and_blanks_ignored(self):
+        cfg = WrapConfig.parse("# nothing\n\n[x]\nk = v  # trailing\n")
+        assert cfg.sections[0].hints == {"k": "v"}
+
+    def test_first_match_wins(self):
+        cfg = WrapConfig.parse("[/a/*]\nk = 1\n[/a/b*]\nk = 2\n")
+        assert cfg.match("/a/bfile").hints["k"] == "1"
+
+    def test_no_match(self):
+        cfg = WrapConfig.parse(SAMPLE)
+        assert cfg.match("/other/file") is None
+
+    def test_hint_outside_section_rejected(self):
+        with pytest.raises(WrapConfigError):
+            WrapConfig.parse("k = v\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(WrapConfigError):
+            WrapConfig.parse("[x]\nnot a kv line\n")
+
+    def test_bad_defer_close(self):
+        with pytest.raises(WrapConfigError):
+            WrapConfig.parse("[x]\ndefer_close = maybe\n")
+
+    def test_defer_close_enable_style(self):
+        cfg = WrapConfig.parse("[x]\ndefer_close = enable\n")
+        assert cfg.sections[0].defer_close
+
+
+class TestBaseName:
+    @pytest.mark.parametrize(
+        "path,base",
+        [
+            ("/run/ckpt_0003", "/run/ckpt_"),
+            ("/run/ckpt_0004", "/run/ckpt_"),
+            ("/run/plot_12.h5", "/run/plot_.h5"),
+            ("/run/noindex", "/run/noindex"),
+            ("file9", "file"),
+        ],
+    )
+    def test_strip_trailing_index(self, path, base):
+        assert base_name(path) == base
+
+    def test_same_group_shares_base(self):
+        assert base_name("/a/out_1") == base_name("/a/out_2")
+        assert base_name("/a/out_1") != base_name("/b/out_1")

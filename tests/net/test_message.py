@@ -1,0 +1,143 @@
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.message import ANY_SOURCE, ANY_TAG, Transport
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=2, nic_bw=1e6, latency=1e-4)
+    transport = Transport(sim, fabric, rank_to_node=[0, 0, 1, 1], per_message_overhead=1e-6)
+    return sim, transport
+
+
+class TestMatching:
+    def test_send_recv(self, setup):
+        sim, tp = setup
+
+        def receiver():
+            msg = yield tp.post_recv(2, source=0, tag=5)
+            return (msg.payload, msg.source, msg.tag)
+
+        def sender():
+            yield tp.send(0, 2, 5, "hello", 100)
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.value == ("hello", 0, 5)
+
+    def test_unexpected_message_queued(self, setup):
+        sim, tp = setup
+
+        def sender():
+            yield tp.send(0, 2, 9, "early", 10)
+
+        def receiver():
+            yield sim.timeout(1.0)  # recv posted long after arrival
+            msg = yield tp.post_recv(2, source=0, tag=9)
+            return msg.payload
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        sim.run()
+        assert p.value == "early"
+
+    def test_wildcard_source(self, setup):
+        sim, tp = setup
+
+        def receiver():
+            msg = yield tp.post_recv(3, source=ANY_SOURCE, tag=1)
+            return msg.source
+
+        def sender():
+            yield tp.send(1, 3, 1, "x", 10)
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.value == 1
+
+    def test_wildcard_tag(self, setup):
+        sim, tp = setup
+
+        def receiver():
+            msg = yield tp.post_recv(2, source=0, tag=ANY_TAG)
+            return msg.tag
+
+        def sender():
+            yield tp.send(0, 2, 77, "x", 10)
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.value == 77
+
+    def test_tag_filtering(self, setup):
+        sim, tp = setup
+
+        def receiver():
+            msg_b = yield tp.post_recv(2, source=0, tag=2)
+            msg_a = yield tp.post_recv(2, source=0, tag=1)
+            return (msg_b.payload, msg_a.payload)
+
+        def sender():
+            yield tp.send(0, 2, 1, "a", 10)
+            yield tp.send(0, 2, 2, "b", 10)
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.value == ("b", "a")
+
+    def test_non_overtaking_same_pair_same_tag(self, setup):
+        sim, tp = setup
+        got = []
+
+        def receiver():
+            for _ in range(5):
+                msg = yield tp.post_recv(2, source=0, tag=0)
+                got.append(msg.payload)
+
+        def sender():
+            for i in range(5):
+                yield tp.send(0, 2, 0, i, 1000)
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_intra_node_message(self, setup):
+        sim, tp = setup
+
+        def receiver():
+            msg = yield tp.post_recv(1, source=0, tag=0)
+            return msg.payload
+
+        def sender():
+            yield tp.send(0, 1, 0, "local", 10)
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.value == "local"
+
+    def test_messages_sent_counter(self, setup):
+        sim, tp = setup
+
+        def sender():
+            yield tp.send(0, 2, 0, "x", 10)
+            yield tp.send(0, 3, 0, "y", 10)
+
+        sim.process(sender())
+        sim.process(iter_recv(tp, sim))
+        sim.run()
+        assert tp.messages_sent == 2
+
+
+def iter_recv(tp, sim):
+    yield tp.post_recv(2)
+    yield tp.post_recv(3)

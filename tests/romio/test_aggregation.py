@@ -1,0 +1,126 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.romio.aggregation import (
+    FileDomain,
+    domains_are_stripe_aligned,
+    partition_even,
+    partition_stripe_aligned,
+    select_aggregators,
+)
+
+
+class TestSelection:
+    def test_one_per_node(self):
+        aggs = select_aggregators(num_nodes=4, procs_per_node=8, cb_nodes=None)
+        assert aggs == [0, 8, 16, 24]
+
+    def test_spread_placement(self):
+        aggs = select_aggregators(num_nodes=64, procs_per_node=8, cb_nodes=8, spread=True)
+        nodes = [a // 8 for a in aggs]
+        assert nodes == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_packed_placement(self):
+        aggs = select_aggregators(num_nodes=64, procs_per_node=8, cb_nodes=8, spread=False)
+        assert [a // 8 for a in aggs] == list(range(8))
+
+    def test_cb_nodes_capped_at_num_nodes(self):
+        aggs = select_aggregators(num_nodes=4, procs_per_node=2, cb_nodes=100)
+        assert len(aggs) == 4
+
+    def test_invalid_cb_nodes(self):
+        with pytest.raises(ValueError):
+            select_aggregators(4, 2, 0)
+
+    def test_at_most_one_per_node(self):
+        aggs = select_aggregators(16, 4, 10)
+        nodes = [a // 4 for a in aggs]
+        assert len(set(nodes)) == len(nodes)
+
+
+class TestEvenPartition:
+    def test_exact_division(self):
+        doms = partition_even(0, 99, [10, 20])
+        assert doms == [FileDomain(10, 0, 50), FileDomain(20, 50, 100)]
+
+    def test_remainder_spread_to_front(self):
+        doms = partition_even(0, 100, [1, 2, 3])  # 101 bytes over 3
+        assert [d.size for d in doms] == [34, 34, 33]
+        assert doms[0].start == 0
+        assert doms[-1].end == 101
+
+    def test_contiguous_no_gaps(self):
+        doms = partition_even(1000, 1999, [0, 1, 2, 3])
+        for a, b in zip(doms, doms[1:]):
+            assert a.end == b.start
+        assert doms[0].start == 1000
+        assert doms[-1].end == 2000
+
+    def test_empty_region(self):
+        doms = partition_even(10, 5, [0, 1])
+        assert all(d.size == 0 for d in doms)
+
+
+class TestAlignedPartition:
+    def test_boundaries_on_stripes(self):
+        doms = partition_stripe_aligned(0, 1000 - 1, [0, 1, 2], stripe_size=100)
+        for d in doms[:-1]:
+            assert d.end % 100 == 0
+
+    def test_no_stripe_shared(self):
+        doms = partition_stripe_aligned(0, 16 * 100 - 1, [0, 1, 2, 3], stripe_size=100)
+        assert domains_are_stripe_aligned(doms, 100)
+
+    def test_even_can_share_stripes(self):
+        # 10 stripes of 100 over 3 aggregators: even division splits stripes.
+        doms = partition_even(0, 999, [0, 1, 2])
+        assert not domains_are_stripe_aligned(doms, 100)
+
+    def test_more_aggregators_than_stripes(self):
+        doms = partition_stripe_aligned(0, 299, [0, 1, 2, 3, 4], stripe_size=100)
+        nonempty = [d for d in doms if d.size > 0]
+        assert len(nonempty) == 3
+        assert sum(d.size for d in nonempty) == 300
+
+    def test_unaligned_region_endpoints(self):
+        doms = partition_stripe_aligned(50, 949, [0, 1], stripe_size=100)
+        assert doms[0].start == 50
+        assert doms[-1].end == 950
+        assert doms[0].end % 100 == 0
+
+    def test_invalid_stripe(self):
+        with pytest.raises(ValueError):
+            partition_stripe_aligned(0, 10, [0], 0)
+
+
+regions = st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)).map(
+    lambda t: (min(t), max(t))
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(regions, st.integers(1, 8), st.integers(1, 64))
+def test_partitions_tile_region(region, naggs, stripe):
+    start, end = region
+    aggs = list(range(naggs))
+    for doms in (
+        partition_even(start, end, aggs),
+        partition_stripe_aligned(start, end, aggs, stripe),
+    ):
+        nonempty = [d for d in doms if d.size > 0]
+        total = end - start + 1
+        assert sum(d.size for d in nonempty) == total
+        pos = start
+        for d in nonempty:
+            assert d.start == pos
+            pos = d.end
+        assert pos == end + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(regions, st.integers(1, 8), st.integers(1, 64))
+def test_aligned_never_shares_stripes(region, naggs, stripe):
+    start, end = region
+    doms = partition_stripe_aligned(start, end, list(range(naggs)), stripe)
+    assert domains_are_stripe_aligned(doms, stripe)

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.access import RankAccess
+from repro.units import KiB
+from tests.conftest import make_cluster
+
+
+def run_independent(pattern_fn, hints=None, nprocs=(4, 2)):
+    machine, world, layer = make_cluster(*nprocs)
+    base = {"romio_cb_write": "disable", "ind_wr_buffer_size": "8k"}
+    base.update(hints or {})
+
+    def body(ctx):
+        fh = yield from layer.open(ctx.rank, "/g/t", base)
+        n = yield from fh.write_strided(pattern_fn(ctx.rank))
+        yield from fh.close()
+        return n
+
+    returns = world.run(body)
+    return machine, machine.pfs.lookup("/g/t"), returns
+
+
+class TestContiguousFastPath:
+    def test_single_extent(self):
+        def pattern(rank):
+            data = np.full(KiB, rank + 1, dtype=np.uint8)
+            return RankAccess.contiguous(rank * KiB, KiB, data)
+
+        _, f, returns = run_independent(pattern)
+        img = f.data_image()
+        for r in range(8):
+            assert np.all(img[r * KiB : (r + 1) * KiB] == r + 1)
+        assert returns == [KiB] * 8
+
+    def test_dense_window_skips_rmw(self):
+        # adjacent extents fully covering their windows: direct write path
+        def pattern(rank):
+            offs = np.array([rank * 4 * KiB, rank * 4 * KiB + 2 * KiB])
+            lens = np.array([2 * KiB, 2 * KiB])
+            data = np.full(4 * KiB, rank + 1, dtype=np.uint8)
+            return RankAccess(offs, lens, data)
+
+        machine, f, _ = run_independent(pattern)
+        img = f.data_image()
+        for r in range(8):
+            assert np.all(img[r * 4 * KiB : (r + 1) * 4 * KiB] == r + 1)
+
+
+class TestSieving:
+    def test_holes_trigger_rmw_and_preserve_existing(self):
+        # interleaved strided extents across ranks: RMW under locks must not
+        # lose any rank's bytes.
+        def pattern(rank):
+            offs = np.array([rank * KiB + k * 8 * KiB for k in range(4)])
+            lens = np.full(4, KiB)
+            data = np.full(4 * KiB, rank + 1, dtype=np.uint8)
+            return RankAccess(offs, lens, data)
+
+        _, f, _ = run_independent(pattern)
+        img = f.data_image()
+        for r in range(8):
+            for k in range(4):
+                seg = img[r * KiB + k * 8 * KiB :][: KiB]
+                assert np.all(seg == r + 1), (r, k)
+
+    def test_small_sieve_buffer_many_windows(self):
+        def pattern(rank):
+            offs = np.array([rank * KiB + k * 8 * KiB for k in range(4)])
+            lens = np.full(4, KiB)
+            data = np.full(4 * KiB, rank + 1, dtype=np.uint8)
+            return RankAccess(offs, lens, data)
+
+        _, f, _ = run_independent(pattern, hints={"ind_wr_buffer_size": "2k"})
+        img = f.data_image()
+        for r in range(8):
+            for k in range(4):
+                assert np.all(img[r * KiB + k * 8 * KiB :][: KiB] == r + 1)
+
+    def test_empty_access_returns_zero(self):
+        def pattern(rank):
+            return RankAccess.empty_access()
+
+        _, f, returns = run_independent(pattern)
+        assert returns == [0] * 8
+
+    def test_locks_used_for_rmw(self):
+        def pattern(rank):
+            # two extents with a hole inside one 8 KiB sieve window -> RMW
+            offs = np.array([rank * 32 * KiB, rank * 32 * KiB + 3 * KiB])
+            lens = np.full(2, KiB)
+            data = np.full(2 * KiB, rank + 1, dtype=np.uint8)
+            return RankAccess(offs, lens, data)
+
+        machine, _, _ = run_independent(pattern)
+        assert machine.pfs.locks.acquires > 0

@@ -1,0 +1,104 @@
+import pytest
+
+from repro.romio.hints import HintError, Hints
+from repro.units import KiB, MiB
+
+
+class TestDefaults:
+    def test_defaults_match_romio(self):
+        h = Hints.from_info(None)
+        assert h.romio_cb_write == "automatic"
+        assert h.cb_buffer_size == 16 * MiB
+        assert h.cb_nodes is None
+        assert h.ind_wr_buffer_size == 512 * KiB
+        assert h.e10_cache == "disable"
+        assert not h.cache_enabled
+
+    def test_empty_info(self):
+        assert Hints.from_info({}) == Hints()
+
+
+class TestTableI:
+    def test_cb_write_values(self):
+        for v in ("enable", "disable", "automatic"):
+            assert Hints.from_info({"romio_cb_write": v}).romio_cb_write == v
+
+    def test_cb_write_invalid(self):
+        with pytest.raises(HintError):
+            Hints.from_info({"romio_cb_write": "yes"})
+
+    def test_cb_buffer_size_parses_suffix(self):
+        assert Hints.from_info({"cb_buffer_size": "4m"}).cb_buffer_size == 4 * MiB
+
+    def test_cb_buffer_size_must_be_positive(self):
+        with pytest.raises(HintError):
+            Hints.from_info({"cb_buffer_size": "0"})
+
+    def test_cb_nodes(self):
+        assert Hints.from_info({"cb_nodes": "64"}).cb_nodes == 64
+        with pytest.raises(HintError):
+            Hints.from_info({"cb_nodes": "-1"})
+        with pytest.raises(HintError):
+            Hints.from_info({"cb_nodes": "many"})
+
+    def test_striping(self):
+        h = Hints.from_info({"striping_unit": "4m", "striping_factor": "4"})
+        assert h.striping_unit == 4 * MiB
+        assert h.striping_factor == 4
+
+
+class TestTableII:
+    def test_cache_modes(self):
+        assert Hints.from_info({"e10_cache": "enable"}).cache_enabled
+        assert Hints.from_info({"e10_cache": "coherent"}).cache_enabled
+        assert Hints.from_info({"e10_cache": "coherent"}).cache_coherent
+        assert not Hints.from_info({"e10_cache": "disable"}).cache_enabled
+
+    def test_cache_mode_invalid(self):
+        with pytest.raises(HintError):
+            Hints.from_info({"e10_cache": "on"})
+
+    def test_flush_flags(self):
+        assert Hints.from_info(
+            {"e10_cache_flush_flag": "flush_immediate"}
+        ).flush_immediate
+        assert not Hints.from_info(
+            {"e10_cache_flush_flag": "flush_onclose"}
+        ).flush_immediate
+        # the TBW evaluation extension
+        Hints.from_info({"e10_cache_flush_flag": "flush_none"})
+        with pytest.raises(HintError):
+            Hints.from_info({"e10_cache_flush_flag": "whenever"})
+
+    def test_discard_flag(self):
+        assert Hints.from_info({"e10_cache_discard_flag": "enable"}).discard_on_close
+        assert not Hints.from_info({"e10_cache_discard_flag": "disable"}).discard_on_close
+
+    def test_cache_path(self):
+        assert Hints.from_info({"e10_cache_path": "/nvme0"}).e10_cache_path == "/nvme0"
+
+    def test_ind_wr_buffer_size(self):
+        assert (
+            Hints.from_info({"ind_wr_buffer_size": "512k"}).ind_wr_buffer_size
+            == 512 * KiB
+        )
+
+
+class TestUnknownAndRoundtrip:
+    def test_unknown_hints_ignored_but_kept(self):
+        h = Hints.from_info({"romio_lustre_co_ratio": "4"})
+        assert h.unknown == {"romio_lustre_co_ratio": "4"}
+
+    def test_roundtrip_through_info(self):
+        original = {
+            "e10_cache": "enable",
+            "e10_cache_flush_flag": "flush_immediate",
+            "cb_buffer_size": str(4 * MiB),
+            "cb_nodes": "8",
+        }
+        h1 = Hints.from_info(original)
+        h2 = Hints.from_info(h1.to_info())
+        assert h1 == h2
+
+    def test_case_insensitive_values(self):
+        assert Hints.from_info({"e10_cache": "ENABLE"}).cache_enabled

@@ -1,0 +1,96 @@
+"""Consistency between the two exchange fidelities.
+
+The model engine replaces per-message simulation with precomputed costs; it
+must still write exactly the same byte ranges, run the same number of
+rounds, and agree with flow fidelity on wall-clock within a small factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access import RankAccess
+from repro.units import KiB
+from tests.conftest import make_cluster
+
+
+def strided(nprocs, block=4 * KiB, reps=4):
+    out = []
+    for r in range(nprocs):
+        offs = np.array([r * block + k * nprocs * block for k in range(reps)])
+        out.append(RankAccess(offs, np.full(reps, block)))
+    return out
+
+
+def run(mode, hints, patterns):
+    machine, world, layer = make_cluster(exchange=mode)
+
+    def body(ctx):
+        fh = yield from layer.open(ctx.rank, "/g/t", hints)
+        t0 = ctx.now
+        yield from fh.write_all(patterns[ctx.rank])
+        dt = ctx.now - t0
+        yield from fh.close()
+        return dt
+
+    times = world.run(body)
+    fd = layer._open_slots["/g/t"][0]
+    return machine, fd, max(times)
+
+
+HINTS = {"cb_nodes": "2", "cb_buffer_size": "16k", "romio_cb_write": "enable"}
+
+
+class TestEquivalence:
+    def test_same_rounds(self):
+        patterns = strided(8)
+        _, fd_flow, _ = run("flow", HINTS, patterns)
+        _, fd_model, _ = run("model", HINTS, patterns)
+        assert fd_flow._calls[0].ntimes == fd_model._calls[0].ntimes
+
+    def test_same_domains(self):
+        patterns = strided(8)
+        _, fd_flow, _ = run("flow", HINTS, patterns)
+        _, fd_model, _ = run("model", HINTS, patterns)
+        assert fd_flow._calls[0].domains == fd_model._calls[0].domains
+
+    def test_same_bytes_persisted(self):
+        patterns = strided(8)
+        m_flow, _, _ = run("flow", HINTS, patterns)
+        m_model, _, _ = run("model", HINTS, patterns)
+        f1 = m_flow.pfs.lookup("/g/t")
+        f2 = m_model.pfs.lookup("/g/t")
+        assert f1.persisted.total == f2.persisted.total
+        assert list(f1.persisted) == list(f2.persisted)
+
+    def test_same_coverage_with_holes(self):
+        patterns = []
+        for r in range(8):
+            offs = np.array([r * 10 * KiB])
+            patterns.append(RankAccess(offs, np.array([4 * KiB])))
+        m_flow, _, _ = run("flow", HINTS, patterns)
+        m_model, _, _ = run("model", HINTS, patterns)
+        assert list(m_flow.pfs.lookup("/g/t").persisted) == list(
+            m_model.pfs.lookup("/g/t").persisted
+        )
+
+    def test_wallclock_within_factor(self):
+        patterns = strided(8, block=16 * KiB, reps=8)
+        _, _, t_flow = run("flow", HINTS, patterns)
+        _, _, t_model = run("model", HINTS, patterns)
+        assert t_model == pytest.approx(t_flow, rel=1.5)
+
+    def test_model_sends_match_flow_slices(self):
+        """The vectorised per-round send matrix equals per-slice computation."""
+        patterns = strided(8)
+        _, fd_model, _ = run("model", HINTS, patterns)
+        call = fd_model._calls[0]
+        cb = 16 * KiB
+        for r in range(call.ntimes):
+            for rank in range(8):
+                for i, d in enumerate(call.domains):
+                    if d.size <= 0:
+                        continue
+                    lo = d.start + r * cb
+                    hi = min(d.end, lo + cb)
+                    expected = patterns[rank].bytes_in_window(lo, hi) if hi > lo else 0
+                    assert call.sends[rank, i, r] == expected, (rank, i, r)

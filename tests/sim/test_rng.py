@@ -1,0 +1,51 @@
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        r = RngStreams(7)
+        s = r.stream("a")
+        assert r.stream("a") is s
+
+    def test_determinism_across_instances(self):
+        a = RngStreams(7).stream("x").random(5)
+        b = RngStreams(7).stream("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_independent(self):
+        r = RngStreams(7)
+        a = r.stream("x").random(5)
+        b = r.stream("y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        r1 = RngStreams(7)
+        _ = r1.stream("a").random(3)
+        first = r1.stream("a").random(3)
+
+        r2 = RngStreams(7)
+        _ = r2.stream("a").random(3)
+        _ = r2.stream("b").random(100)  # new consumer in between
+        second = r2.stream("a").random(3)
+        assert np.allclose(first, second)
+
+    def test_lognormal_factor_mean_one(self):
+        r = RngStreams(42)
+        draws = [r.lognormal_factor("jitter", 0.35) for _ in range(20000)]
+        assert abs(np.mean(draws) - 1.0) < 0.02
+
+    def test_lognormal_sigma_zero_is_exact_one(self):
+        r = RngStreams(42)
+        assert r.lognormal_factor("x", 0.0) == 1.0
+        assert r.lognormal_factor("x", -1.0) == 1.0
+
+    def test_lognormal_positive(self):
+        r = RngStreams(3)
+        assert all(r.lognormal_factor("j", 1.0) > 0 for _ in range(100))

@@ -1,0 +1,180 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import IntervalSet
+
+
+def iv(*pairs):
+    return IntervalSet(pairs)
+
+
+class TestAdd:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert s.total == 0
+
+    def test_single(self):
+        s = iv((0, 10))
+        assert list(s) == [(0, 10)]
+        assert s.total == 10
+
+    def test_zero_length_ignored(self):
+        s = iv((5, 5))
+        assert not s
+
+    def test_merge_overlap(self):
+        s = iv((0, 10), (5, 20))
+        assert list(s) == [(0, 20)]
+
+    def test_merge_adjacent(self):
+        s = iv((0, 10), (10, 20))
+        assert list(s) == [(0, 20)]
+
+    def test_disjoint_sorted(self):
+        s = iv((20, 30), (0, 10))
+        assert list(s) == [(0, 10), (20, 30)]
+
+    def test_bridge_many(self):
+        s = iv((0, 5), (10, 15), (20, 25), (4, 21))
+        assert list(s) == [(0, 25)]
+
+    def test_contained(self):
+        s = iv((0, 100), (10, 20))
+        assert list(s) == [(0, 100)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            iv((10, 5))
+
+
+class TestRemove:
+    def test_exact(self):
+        s = iv((0, 10))
+        s.remove(0, 10)
+        assert not s
+
+    def test_split(self):
+        s = iv((0, 30))
+        s.remove(10, 20)
+        assert list(s) == [(0, 10), (20, 30)]
+
+    def test_head(self):
+        s = iv((0, 30))
+        s.remove(0, 10)
+        assert list(s) == [(10, 30)]
+
+    def test_tail(self):
+        s = iv((0, 30))
+        s.remove(20, 30)
+        assert list(s) == [(0, 20)]
+
+    def test_across_runs(self):
+        s = iv((0, 10), (20, 30), (40, 50))
+        s.remove(5, 45)
+        assert list(s) == [(0, 5), (45, 50)]
+
+    def test_miss(self):
+        s = iv((0, 10))
+        s.remove(20, 30)
+        assert list(s) == [(0, 10)]
+
+
+class TestQueries:
+    def test_covers(self):
+        s = iv((0, 10), (20, 30))
+        assert s.covers(0, 10)
+        assert s.covers(2, 8)
+        assert not s.covers(5, 15)
+        assert not s.covers(10, 20)
+        assert s.covers(7, 7)  # empty range always covered
+
+    def test_overlaps(self):
+        s = iv((10, 20))
+        assert s.overlaps(15, 25)
+        assert s.overlaps(0, 11)
+        assert not s.overlaps(0, 10)  # half-open: touching is not overlap
+        assert not s.overlaps(20, 30)
+
+    def test_intersect(self):
+        s = iv((0, 10), (20, 30))
+        assert list(s.intersect(5, 25)) == [(5, 10), (20, 25)]
+
+    def test_gaps(self):
+        s = iv((10, 20), (30, 40))
+        assert list(s.gaps(0, 50)) == [(0, 10), (20, 30), (40, 50)]
+        assert list(s.gaps(10, 40)) == [(20, 30)]
+        assert not s.gaps(12, 18)
+
+    def test_eq_and_copy(self):
+        s = iv((0, 10))
+        t = s.copy()
+        assert s == t
+        t.add(20, 30)
+        assert s != t
+
+
+# -- property-based --------------------------------------------------------------
+
+ranges = st.tuples(st.integers(0, 200), st.integers(0, 200)).map(
+    lambda t: (min(t), max(t))
+)
+
+
+def reference(pairs_add, pairs_remove=()):
+    """Set-of-points reference model."""
+    pts = set()
+    for a, b in pairs_add:
+        pts.update(range(a, b))
+    for a, b in pairs_remove:
+        pts.difference_update(range(a, b))
+    return pts
+
+
+def points_of(s: IntervalSet):
+    pts = set()
+    for a, b in s:
+        pts.update(range(a, b))
+    return pts
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ranges, max_size=12))
+def test_add_matches_point_set(pairs):
+    s = IntervalSet(pairs)
+    assert points_of(s) == reference(pairs)
+    # invariants: sorted, coalesced, non-empty runs
+    runs = list(s)
+    for (a1, b1), (a2, b2) in zip(runs, runs[1:]):
+        assert b1 < a2  # strictly separated (adjacent would have merged)
+    assert all(a < b for a, b in runs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ranges, min_size=1, max_size=10), st.lists(ranges, max_size=6))
+def test_remove_matches_point_set(adds, removes):
+    s = IntervalSet(adds)
+    for a, b in removes:
+        s.remove(a, b)
+    assert points_of(s) == reference(adds, removes)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(ranges, max_size=8), ranges)
+def test_gaps_complement(pairs, window):
+    lo, hi = window
+    s = IntervalSet(pairs)
+    inside = points_of(s) & set(range(lo, hi))
+    gap_points = points_of(s.gaps(lo, hi))
+    assert gap_points == set(range(lo, hi)) - inside
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(ranges, max_size=8), ranges)
+def test_intersect_consistent_with_covers(pairs, window):
+    lo, hi = window
+    s = IntervalSet(pairs)
+    inter = s.intersect(lo, hi)
+    assert points_of(inter) == points_of(s) & set(range(lo, hi))
+    assert inter.total == len(points_of(inter))

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.units import GiB, KiB, MiB, fmt_bw, fmt_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(4096) == 4096
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4m", 4 * MiB),
+            ("4M", 4 * MiB),
+            ("4MB", 4 * MiB),
+            ("4MiB", 4 * MiB),
+            ("512k", 512 * KiB),
+            ("512 KiB", 512 * KiB),
+            ("1g", GiB),
+            ("2.5m", int(2.5 * MiB)),
+            ("123", 123),
+            ("0b", 0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "m", "4x", "4mmm", "--4", "4..5m"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_int(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_negative_string(self):
+        with pytest.raises(ValueError):
+            parse_size("-4m")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(True)
+
+
+class TestFormat:
+    def test_fmt_size_bytes(self):
+        assert fmt_size(17) == "17B"
+
+    def test_fmt_size_mib(self):
+        assert fmt_size(4 * MiB) == "4.0MiB"
+
+    def test_fmt_size_gib(self):
+        assert fmt_size(3 * GiB) == "3.0GiB"
+
+    def test_fmt_bw_gib(self):
+        assert "GiB/s" in fmt_bw(2 * GiB)
+
+    def test_fmt_bw_mib(self):
+        assert "MiB/s" in fmt_bw(100 * MiB)
