@@ -7,11 +7,9 @@ compared to the figure sweeps.
 
 from dataclasses import replace
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.config import deep_er_testbed
-from repro.experiments.runner import ExperimentSpec, hints_for, run_experiment
+from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.units import GiB, KiB, MiB
 
 BASE = dict(scale=0.125, flush_batch_chunks=16)

@@ -8,7 +8,7 @@ measured T_c/T_s components must match the harness's perceived bandwidth.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.analysis.bandwidth import BandwidthModel, eq2_average_bandwidth
+from repro.analysis.bandwidth import BandwidthModel
 from repro.config import deep_er_testbed
 from repro.experiments.runner import ExperimentSpec, run_experiment_cached
 from repro.units import GiB, KiB, MiB

@@ -2,8 +2,11 @@
 
 Each ``bench_figNN_*`` module regenerates one figure of the paper's
 evaluation section and prints the measured table next to the paper's
-expectations.  Measurement points are memoised across modules (one pytest
-session), so the breakdown figures reuse the bandwidth figures' runs.
+expectations.  Figures draw their measurement points through a shared
+:class:`~repro.experiments.parallel.SweepRunner`, so points are memoised
+across modules (one pytest session) *and* persisted in ``.repro_cache/``
+across sessions — a re-run of the figure benches on a warm cache performs
+zero simulations.
 
 Environment knobs:
 
@@ -11,13 +14,21 @@ Environment knobs:
   32 GB files; compute delay scales with it).
 * ``REPRO_FULL_SWEEP=1`` — run the paper's full 4×5 aggregator×buffer grid
   instead of the 4×3 quick grid.
+* ``REPRO_JOBS``        — parallel sweep workers (default 1).
+* ``REPRO_CACHE=0``     — disable the on-disk result cache (force fresh
+  simulation); ``REPRO_CACHE_DIR`` relocates it.
 """
 
 import os
 
 import pytest
 
-from repro.experiments.figures import FULL_SWEEP, QUICK_AGGREGATORS, QUICK_CB_SIZES
+from repro.experiments.figures import (
+    FULL_SWEEP,
+    QUICK_AGGREGATORS,
+    QUICK_CB_SIZES,
+    get_default_runner,
+)
 
 
 def sweep():
@@ -29,6 +40,12 @@ def sweep():
 @pytest.fixture(scope="session")
 def figure_sweep():
     return sweep()
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """The SweepRunner every figure call in this session goes through."""
+    return get_default_runner()
 
 
 def run_once(benchmark, fn):

@@ -10,7 +10,6 @@ and prints what each rank perceived.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import Machine, MPIIOLayer, MPIWorld, RankAccess, deep_er_testbed
 from repro.units import GiB, MiB, fmt_bw

@@ -16,7 +16,6 @@ simulator against the analytic model and by the ablation benches.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

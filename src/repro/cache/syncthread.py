@@ -15,8 +15,7 @@ the per-chunk costs; 1 reproduces the implementation exactly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.mpi.request import GeneralizedRequest
 from repro.sim.resources import Store

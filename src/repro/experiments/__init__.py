@@ -1,17 +1,35 @@
 """Experiment harness: sweep runner and figure/table regeneration."""
 
+from repro.experiments.parallel import SweepError, SweepRunner, default_jobs
+from repro.experiments.resultcache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    config_fingerprint,
+    default_cache,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentSpec,
     default_scale,
+    resolve_config,
     run_experiment,
     run_experiment_cached,
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "ExperimentResult",
     "ExperimentSpec",
+    "ResultCache",
+    "SweepError",
+    "SweepRunner",
+    "cache_key",
+    "config_fingerprint",
+    "default_cache",
+    "default_jobs",
     "default_scale",
+    "resolve_config",
     "run_experiment",
     "run_experiment_cached",
 ]

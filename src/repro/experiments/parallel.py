@@ -1,0 +1,210 @@
+"""Parallel sweep execution: fan measurement points over a process pool.
+
+Every measurement point is an independent, single-threaded, deterministic
+simulation, so the paper's 4×5 aggregator×buffer grid × 3 cache modes × 3
+benchmarks (~180 points) is embarrassingly parallel: :class:`SweepRunner`
+fans the misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and collects results **in input order**, so ``--jobs 8`` output is
+byte-identical to a serial run.
+
+Robustness model (CI is the main consumer):
+
+* identical specs in one sweep are simulated once (figure sweeps share
+  points between bandwidth and breakdown tables);
+* points already in the :class:`~repro.experiments.resultcache.ResultCache`
+  are not simulated at all;
+* a point whose worker crashes (or whose pool dies — e.g. the OOM killer
+  taking out a worker breaks every pending future) is retried once *inline*
+  in the parent process, where a plain exception with a traceback beats a
+  ``BrokenProcessPool``;
+* a per-point ``timeout`` (seconds, pool mode only) turns a hung simulation
+  into a retryable failure instead of a wedged pipeline.  The stuck worker
+  process is abandoned, not killed — acceptable for CI, where the job has a
+  global timeout anyway.
+
+Only if a point fails *again* on the inline retry does the sweep raise
+:class:`SweepError`, carrying every failed spec.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.config import ClusterConfig
+from repro.experiments.resultcache import ResultCache, cache_key, default_cache
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    resolve_config,
+    run_experiment,
+)
+
+# Progress-callback sources, in the order a point can encounter them.
+SOURCE_CACHE = "cache"  # served from the on-disk result cache
+SOURCE_RUN = "run"  # simulated (pool worker or inline serial path)
+SOURCE_RETRY = "retry"  # simulated inline after a crash/timeout
+SOURCE_DUP = "dup"  # duplicate of an earlier spec in the same sweep
+
+ProgressFn = Callable[[int, int, ExperimentSpec, str], None]
+
+
+class SweepError(RuntimeError):
+    """One or more measurement points failed even after the inline retry."""
+
+    def __init__(self, failures: Sequence[tuple[ExperimentSpec, BaseException]]):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"{spec.benchmark}/{spec.label}/{spec.cache_mode}: {err!r}"
+            for spec, err in self.failures
+        )
+        super().__init__(f"{len(self.failures)} sweep point(s) failed: {detail}")
+
+
+def _run_point(spec: ExperimentSpec, config: Optional[ClusterConfig]):
+    """Module-level so the process pool can pickle it by reference."""
+    return run_experiment(spec, config)
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, default 1 (serial)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+class SweepRunner:
+    """Run a list of :class:`ExperimentSpec`s, possibly in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Pool width.  ``1`` (the default) runs everything inline in this
+        process — same code path minus the pool, which keeps debugging sane.
+    cache:
+        A :class:`ResultCache`; ``None`` selects the process default
+        (``.repro_cache/``, honouring ``REPRO_CACHE``/``REPRO_CACHE_DIR``).
+        Pass ``ResultCache.disabled()`` to force every point to simulate.
+    timeout:
+        Per-point seconds before a pool worker is declared hung.
+    retries:
+        Inline re-runs granted to a crashed/hung point (0 or 1 make sense).
+    progress:
+        ``f(done, total, spec, source)`` called once per point as it
+        resolves; ``source`` is one of the ``SOURCE_*`` constants.
+    worker:
+        The per-point function ``(spec, config) -> ExperimentResult``.
+        Overridable for tests; must be picklable when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+        worker: Callable = _run_point,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = default_cache() if cache is None else cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.progress = progress
+        self.worker = worker
+        self.simulated = 0  # points actually run (pool + inline + retries)
+
+    def _report(self, done: int, total: int, spec: ExperimentSpec, source: str):
+        if self.progress is not None:
+            self.progress(done, total, spec, source)
+
+    def run(
+        self,
+        specs: Iterable[ExperimentSpec],
+        config: Optional[ClusterConfig] = None,
+    ) -> list[ExperimentResult]:
+        """Resolve every spec to a result, preserving input order."""
+        specs = list(specs)
+        total = len(specs)
+        results: list[Optional[ExperimentResult]] = [None] * total
+        done = 0
+
+        # Classify: cache hit, first occurrence (simulate), or duplicate.
+        first_of: dict[str, int] = {}
+        dup_of: dict[int, int] = {}
+        to_run: list[int] = []
+        for i, spec in enumerate(specs):
+            key = cache_key(spec, resolve_config(spec, config))
+            if key in first_of:
+                dup_of[i] = first_of[key]
+                continue
+            first_of[key] = i
+            hit = self.cache.get(spec, resolve_config(spec, config))
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                self._report(done, total, spec, SOURCE_CACHE)
+            else:
+                to_run.append(i)
+
+        failures: list[tuple[int, BaseException]] = []
+        if self.jobs == 1 or len(to_run) <= 1:
+            for i in to_run:
+                try:
+                    results[i] = self.worker(specs[i], config)
+                    self.simulated += 1
+                    done += 1
+                    self._report(done, total, specs[i], SOURCE_RUN)
+                except Exception as err:
+                    failures.append((i, err))
+        elif to_run:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(to_run)))
+            hung = False
+            try:
+                futures = {
+                    i: pool.submit(self.worker, specs[i], config) for i in to_run
+                }
+                # Collect in submission order: deterministic, and each
+                # future's wait doubles as that point's timeout budget.
+                for i in to_run:
+                    try:
+                        results[i] = futures[i].result(timeout=self.timeout)
+                        self.simulated += 1
+                        done += 1
+                        self._report(done, total, specs[i], SOURCE_RUN)
+                    except FuturesTimeoutError as err:
+                        futures[i].cancel()
+                        hung = True
+                        failures.append((i, err))
+                    except Exception as err:  # worker raise or BrokenProcessPool
+                        failures.append((i, err))
+            finally:
+                # A clean join on the normal path; only abandon the pool when
+                # a worker is known to be hung (waiting would defeat the
+                # per-point timeout).
+                pool.shutdown(wait=not hung, cancel_futures=True)
+
+        # Inline retry: a fresh, traceable attempt in this process.
+        still_failed: list[tuple[ExperimentSpec, BaseException]] = []
+        for i, err in failures:
+            if self.retries > 0:
+                try:
+                    results[i] = self.worker(specs[i], config)
+                    self.simulated += 1
+                    done += 1
+                    self._report(done, total, specs[i], SOURCE_RETRY)
+                    continue
+                except Exception as retry_err:
+                    err = retry_err
+            still_failed.append((specs[i], err))
+        if still_failed:
+            raise SweepError(still_failed)
+
+        # Persist fresh results, then satisfy duplicates by reference.
+        for i in to_run:
+            self.cache.put(specs[i], resolve_config(specs[i], config), results[i])
+        for i, j in dup_of.items():
+            results[i] = results[j]
+            done += 1
+            self._report(done, total, specs[i], SOURCE_DUP)
+        return results  # type: ignore[return-value]  # every slot is filled

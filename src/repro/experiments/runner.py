@@ -13,16 +13,17 @@ reproduces the paper's full 32 GB files.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.analysis.bandwidth import perceived_bandwidth
 from repro.analysis.breakdown import breakdown_from_profiles, merge_breakdowns
 from repro.config import ClusterConfig, deep_er_testbed
+from repro.experiments.resultcache import ResultCache, cache_key, default_cache
 from repro.machine import Machine
 from repro.mpi.process import MPIWorld
 from repro.romio.file import MPIIOLayer
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 from repro.workloads import collperf_workload, flashio_workload, ior_workload
 from repro.workloads.phases import PhaseTiming, multi_phase_body
 
@@ -84,6 +85,19 @@ class ExperimentResult:
         """Bandwidth ignoring all synchronisation waits (cache write rate)."""
         return self.spec.num_files * self.file_size / self.write_time
 
+    def to_dict(self) -> dict:
+        """JSON-safe form; floats survive the round trip bit-for-bit
+        (json uses repr, Python's shortest exact float representation)."""
+        d = asdict(self)
+        d["spec"] = asdict(self.spec)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentResult":
+        fields = dict(d)
+        fields["spec"] = ExperimentSpec(**fields["spec"])
+        return cls(**fields)
+
 
 def build_workload(spec: ExperimentSpec, nprocs: int, with_data: bool = False):
     """Build the benchmark recipe at the spec's scale.
@@ -106,7 +120,10 @@ def build_workload(spec: ExperimentSpec, nprocs: int, with_data: bool = False):
         blocks = max(1, int(round(80 * s)))
         return flashio_workload(nprocs, blocks_per_proc=blocks, with_data=with_data)
     return ior_workload(
-        nprocs, block_bytes=8 * MiB, segments=max(1, int(round(8 * s))), with_data=with_data
+        nprocs,
+        block_bytes=8 * MiB,
+        segments=max(1, int(round(8 * s))),
+        with_data=with_data,
     )
 
 
@@ -134,25 +151,36 @@ def hints_for(spec: ExperimentSpec) -> dict[str, str]:
     return hints
 
 
+def resolve_config(
+    spec: ExperimentSpec, config: Optional[ClusterConfig] = None
+) -> ClusterConfig:
+    """The cluster a spec actually runs on.
+
+    An explicit config wins unchanged.  Otherwise the testbed is derived from
+    the spec exactly as :func:`run_experiment` has always done — shared here
+    so cache keys fingerprint the *same* config the simulation uses.
+    """
+    if config is not None:
+        return config
+    cfg = deep_er_testbed(flush_batch_chunks=spec.flush_batch_chunks, seed=spec.seed)
+    if spec.scale != 1.0:
+        # Fixed-size buffers must shrink with the data volume or they
+        # absorb a disproportionate share of a scaled-down run.
+        cfg = cfg.scaled(
+            pfs=replace(
+                cfg.pfs,
+                server_cache_bytes=max(
+                    64 * MiB, int(cfg.pfs.server_cache_bytes * spec.scale)
+                ),
+            )
+        )
+    return cfg
+
+
 def run_experiment(
     spec: ExperimentSpec, config: Optional[ClusterConfig] = None
 ) -> ExperimentResult:
-    cfg = config
-    if cfg is None:
-        cfg = deep_er_testbed(flush_batch_chunks=spec.flush_batch_chunks, seed=spec.seed)
-        if spec.scale != 1.0:
-            # Fixed-size buffers must shrink with the data volume or they
-            # absorb a disproportionate share of a scaled-down run.
-            from dataclasses import replace as _replace
-
-            cfg = cfg.scaled(
-                pfs=_replace(
-                    cfg.pfs,
-                    server_cache_bytes=max(
-                        64 * MiB, int(cfg.pfs.server_cache_bytes * spec.scale)
-                    ),
-                )
-            )
+    cfg = resolve_config(spec, config)
     machine = Machine(cfg)
     world = MPIWorld(machine)
     layer = MPIIOLayer(machine, world.comm, driver="beegfs", exchange_mode="model")
@@ -200,12 +228,39 @@ def run_experiment(
     )
 
 
-_CACHE: dict[ExperimentSpec, ExperimentResult] = {}
+# In-process memo on top of the disk cache, keyed by the full content
+# address (spec + config fingerprint + schema version) so two calls with
+# different ClusterConfigs can never alias — the old ExperimentSpec-keyed
+# dict returned the first config's result for both.
+_MEMO: dict[str, ExperimentResult] = {}
 
 
-def run_experiment_cached(spec: ExperimentSpec) -> ExperimentResult:
-    """Memoised runner — figure benches share measurement points."""
-    result = _CACHE.get(spec)
+def clear_memo() -> None:
+    _MEMO.clear()
+
+
+def run_experiment_cached(
+    spec: ExperimentSpec,
+    config: Optional[ClusterConfig] = None,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    """Memoised runner — figure benches share measurement points.
+
+    Within a process, repeated calls return the identical object.  Across
+    processes and sessions, results round-trip through the on-disk
+    :class:`ResultCache` (pass ``cache`` to control placement, or set
+    ``REPRO_CACHE=0`` to keep everything in memory).
+    """
+    cfg = resolve_config(spec, config)
+    key = cache_key(spec, cfg)
+    result = _MEMO.get(key)
+    if result is not None:
+        return result
+    if cache is None:
+        cache = default_cache()
+    result = cache.get(spec, cfg)
     if result is None:
-        result = _CACHE[spec] = run_experiment(spec)
+        result = run_experiment(spec, cfg)
+        cache.put(spec, cfg, result)
+    _MEMO[key] = result
     return result

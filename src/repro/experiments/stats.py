@@ -9,10 +9,10 @@ results on request, and the report module renders it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.machine import Machine
-from repro.units import fmt_bw, fmt_size
+from repro.units import fmt_size
 
 
 @dataclass(frozen=True)

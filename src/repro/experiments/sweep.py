@@ -1,0 +1,190 @@
+"""Sweep CLI — the one code path CI and humans share.
+
+Examples::
+
+    # quick grid, all benchmarks, 8 workers, warm/populate .repro_cache/
+    python -m repro.experiments.sweep --jobs 8
+
+    # one benchmark, paper grid, no cache (force fresh simulation)
+    python -m repro.experiments.sweep --benchmark ior --full-sweep --no-cache
+
+    # regenerate the bandwidth figure tables the way CI does
+    REPRO_SCALE=0.03125 python -m repro.experiments.sweep \\
+        --figures fig4 fig7 fig9 --jobs 4 --output-dir sweep-tables
+
+Without ``--figures`` the CLI runs the raw benchmark × grid × cache-mode
+sweep and prints one bandwidth table per benchmark.  With ``--figures`` it
+regenerates the named paper figures (through the exact same
+:class:`~repro.experiments.parallel.SweepRunner`) and writes each rendered
+table to ``--output-dir`` as ``<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import figures
+from repro.experiments.parallel import SweepError, SweepRunner, default_jobs
+from repro.experiments.report import (
+    render_bandwidth_table,
+    render_breakdown_table,
+    shape_checks_bandwidth,
+)
+from repro.experiments.resultcache import ResultCache
+from repro.experiments.runner import BENCHMARKS, default_scale
+from repro.units import MiB
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run paper measurement sweeps in parallel with caching.",
+    )
+    p.add_argument(
+        "--benchmark",
+        action="append",
+        choices=BENCHMARKS,
+        help="benchmark(s) to sweep (repeatable; default: all three)",
+    )
+    p.add_argument(
+        "--figures",
+        nargs="+",
+        choices=sorted(figures.FIGURES, key=lambda n: int(n[3:])),
+        help="regenerate these paper figures instead of a raw sweep",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="parallel workers (default: REPRO_JOBS or 1)",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="data-volume scale (default: REPRO_SCALE or 0.125; 1.0 = paper)",
+    )
+    p.add_argument(
+        "--full-sweep",
+        action="store_true",
+        help="use the paper's full 4x5 aggregator x buffer grid",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point timeout in seconds (parallel mode only)",
+    )
+    p.add_argument(
+        "--output-dir",
+        default=None,
+        help="write rendered figure tables here (with --figures)",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    return p
+
+
+def make_runner(args: argparse.Namespace) -> SweepRunner:
+    if args.no_cache:
+        cache = ResultCache.disabled()
+    else:
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir else None
+    progress = None
+    if not args.quiet:
+
+        def progress(done, total, spec, source):
+            line = (
+                f"[{done:3d}/{total}] {spec.benchmark:>9s} {spec.label:>6s} "
+                f"{spec.cache_mode:<11s} ({source})"
+            )
+            print(line, file=sys.stderr, flush=True)
+
+    return SweepRunner(
+        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
+    )
+
+
+def grid(args: argparse.Namespace) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    if args.full_sweep:
+        return figures.FULL_SWEEP
+    return figures.QUICK_AGGREGATORS, figures.QUICK_CB_SIZES
+
+
+def run_figures(args: argparse.Namespace, runner: SweepRunner) -> int:
+    aggs, cbs = grid(args)
+    out_dir = Path(args.output_dir) if args.output_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in args.figures:
+        fn, kind, title = figures.FIGURES[name]
+        data = fn(aggs, cbs, args.scale, runner=runner)
+        if kind == "bandwidth":
+            table = render_bandwidth_table(f"{name}: {title}", data)
+            table += f"\nshape checks: {shape_checks_bandwidth(data)}"
+        else:
+            table = render_breakdown_table(f"{name}: {title}", data)
+        if out_dir is not None:
+            path = out_dir / f"{name}.txt"
+            path.write_text(table + "\n")
+            print(f"wrote {path}")
+        else:
+            print(table)
+            print()
+    return 0
+
+
+def run_raw(args: argparse.Namespace, runner: SweepRunner) -> int:
+    aggs, cbs = grid(args)
+    benchmarks = args.benchmark or list(BENCHMARKS)
+    scale = args.scale
+    for benchmark in benchmarks:
+        include_last = benchmark == "ior"  # the paper's IOR measurement
+        data = figures._bandwidth_figure(
+            benchmark, include_last, aggs, cbs, scale, runner
+        )
+        print(render_bandwidth_table(f"{benchmark} perceived bandwidth", data))
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = make_runner(args)
+    scale = args.scale if args.scale is not None else default_scale()
+    aggs, cbs = grid(args)
+    t0 = time.monotonic()
+    try:
+        if args.figures:
+            status = run_figures(args, runner)
+        else:
+            status = run_raw(args, runner)
+    except SweepError as err:
+        print(f"sweep failed: {err}", file=sys.stderr)
+        return 1
+    wall = time.monotonic() - t0
+    stats = runner.cache.stats()
+    print(
+        f"sweep done in {wall:.1f}s: scale={scale:g} grid={list(aggs)}x"
+        f"{[c // MiB for c in cbs]}M jobs={runner.jobs} "
+        f"simulated={runner.simulated} cache_hits={stats['hits']} "
+        f"cache_stores={stats['stores']}",
+        file=sys.stderr,
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,6 @@ which is where the 10–20× aggregate cache bandwidth comes from.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.config import ClusterConfig
 from repro.hw.devices import SSDDevice

@@ -12,7 +12,6 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.mpi.comm import Communicator
 from repro.mpi.collectives import CollectiveCosts
-from repro.net.fabric import Fabric
 from repro.net.message import Transport
 from repro.sim.core import Simulator
 

@@ -32,7 +32,12 @@ class Link:
     def __init__(self, name: str, capacity: float):
         self.name = name
         self.capacity = float(capacity)
-        self.flows: set["Flow"] = set()
+        # Ordered set (dict keys).  A real set would iterate in id()-hash
+        # order, i.e. allocation-address order, making tie-breaks in the
+        # fair-share computation depend on process history — runs would be
+        # reproducible within a process but not across fork/exec, which
+        # breaks "parallel sweep == serial sweep bit-for-bit".
+        self.flows: dict["Flow", None] = {}
 
 
 class Flow:
@@ -68,7 +73,7 @@ class Fabric:
         self._out = [Link(f"node{n}.out", nic_bw) for n in range(num_nodes)]
         self._in = [Link(f"node{n}.in", nic_bw) for n in range(num_nodes)]
         self._loop = [Link(f"node{n}.loop", self.loopback_bw) for n in range(num_nodes)]
-        self._flows: set[Flow] = set()
+        self._flows: dict[Flow, None] = {}  # ordered set, see Link.flows
         self._fid = itertools.count()
         self._last_update = 0.0
         self._wake: Optional[Event] = None
@@ -104,9 +109,9 @@ class Fabric:
         links.extend(extra_links)
         self._advance()
         flow = Flow(next(self._fid), links, nbytes, done)
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in links:
-            link.flows.add(flow)
+            link.flows[flow] = None
         self.bytes_moved += nbytes
         self._reschedule()
         return done
@@ -136,10 +141,18 @@ class Fabric:
         self._last_update = now
 
     def _recompute(self) -> None:
-        """Max-min fair allocation by progressive filling."""
-        unfrozen: set[Flow] = set(self._flows)
+        """Max-min fair allocation by progressive filling.
+
+        All iteration is over insertion-ordered dicts, so bottleneck
+        tie-breaks (symmetric NICs produce many equal shares) resolve the
+        same way in every process and the allocation is fully deterministic.
+        """
+        unfrozen: dict[Flow, None] = dict.fromkeys(self._flows)
         residual = {link: link.capacity for flow in unfrozen for link in flow.links}
-        live = {link: {f for f in link.flows if f in unfrozen} for link in residual}
+        live = {
+            link: dict.fromkeys(f for f in link.flows if f in unfrozen)
+            for link in residual
+        }
         while unfrozen:
             best_link = None
             best_share = float("inf")
@@ -158,11 +171,11 @@ class Fabric:
             best_share = max(best_share, 0.0)
             for flow in list(live[best_link]):
                 flow.rate = best_share
-                unfrozen.discard(flow)
+                unfrozen.pop(flow, None)
                 for link in flow.links:
                     if link is not best_link:
                         residual[link] = max(0.0, residual[link] - best_share)
-                        live[link].discard(flow)
+                        live[link].pop(flow, None)
             live[best_link].clear()
 
     def _reschedule(self) -> None:
@@ -196,9 +209,9 @@ class Fabric:
         self._advance()
         finished = [f for f in self._flows if f.remaining <= self._finish_threshold(f)]
         for flow in finished:
-            self._flows.discard(flow)
+            self._flows.pop(flow, None)
             for link in flow.links:
-                link.flows.discard(flow)
+                link.flows.pop(flow, None)
         for flow in finished:
             # Completion is delivered after the propagation latency.
             flow.done.succeed(delay=self.latency)

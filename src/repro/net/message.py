@@ -12,8 +12,8 @@ order under fair sharing of identical link sets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from repro.net.fabric import Fabric
 from repro.sim.core import Event, Simulator

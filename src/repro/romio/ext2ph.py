@@ -149,9 +149,6 @@ def _rounds_flow(fd: ADIOFile, rank: int, access: RankAccess, call, prof: Profil
     comm = fd.comm
     cb = fd.hints.cb_buffer_size
     written = 0
-    my_domain = None
-    if fd.is_aggregator(rank):
-        my_domain = call.domains[fd.agg_index[rank]]
     for r in range(call.ntimes):
         # -- dissemination alltoall ------------------------------------------------
         send_sizes = [0] * comm.size

@@ -15,7 +15,7 @@ of every rank maps to the same state object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 import numpy as np
 

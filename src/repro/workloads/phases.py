@@ -15,8 +15,8 @@ The driver records per-rank, per-phase timings that feed Equations (1)/(2)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.mpi.process import MPIContext
 from repro.workloads.base import Workload

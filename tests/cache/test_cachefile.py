@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.cache.cachefile import CacheState
 from repro.cache.policy import CachePolicy

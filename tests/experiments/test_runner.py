@@ -3,14 +3,17 @@ tests/integration/test_shapes.py (slower, full default scale)."""
 
 import pytest
 
+from repro.config import small_testbed
+from repro.experiments.resultcache import ResultCache
 from repro.experiments.runner import (
     ExperimentSpec,
     build_workload,
+    clear_memo,
     hints_for,
     run_experiment,
     run_experiment_cached,
 )
-from repro.units import GiB, MiB
+from repro.units import MiB
 
 TINY = dict(scale=0.02, num_files=2, flush_batch_chunks=16)
 
@@ -97,3 +100,37 @@ class TestRun:
         a = run_experiment_cached(spec)
         b = run_experiment_cached(spec)
         assert a is b
+
+
+class TestCachedRunnerConfigKey:
+    def test_different_configs_do_not_alias(self, tmp_path):
+        """Regression: the memo used to key on the spec alone, so a second
+        call with a different ClusterConfig returned the first's result."""
+        clear_memo()
+        cache = ResultCache(root=tmp_path)
+        spec = ExperimentSpec("ior", cache_mode="disabled", **TINY)
+        small = run_experiment_cached(spec, config=small_testbed(4, 2), cache=cache)
+        big = run_experiment_cached(spec, config=small_testbed(8, 2), cache=cache)
+        assert small is not big
+        assert (small.file_size, small.bw) != (big.file_size, big.bw)
+        again = run_experiment_cached(spec, config=small_testbed(4, 2), cache=cache)
+        assert again is small
+
+    def test_disk_cache_survives_memo_clear(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        clear_memo()
+        spec = ExperimentSpec("ior", cache_mode="disabled", **TINY)
+        cfg = small_testbed(4, 2)
+        first = run_experiment_cached(spec, config=cfg, cache=ResultCache(root=tmp_path))
+        clear_memo()
+        monkeypatch.setattr(
+            runner_mod,
+            "run_experiment",
+            lambda *a, **k: pytest.fail("should have hit the disk cache"),
+        )
+        second = run_experiment_cached(
+            spec, config=cfg, cache=ResultCache(root=tmp_path)
+        )
+        assert second == first
+        assert second is not first  # round-tripped through JSON, not the memo

@@ -1,9 +1,9 @@
 import pytest
 
 from repro.config import small_testbed
-from repro.hw.node import ComputeNode, PageCache
+from repro.hw.node import ComputeNode
 from repro.sim.core import Simulator
-from repro.units import GiB, MiB
+from repro.units import MiB
 
 
 def make_node(**overrides):

@@ -3,7 +3,6 @@ cache must produce byte-identical global files, through every layer (MPI,
 two-phase, cache, sync thread, PFS)."""
 
 import numpy as np
-import pytest
 
 from repro.mpiwrap.config import WrapConfig
 from repro.mpiwrap.wrapper import MPIWrap

@@ -2,7 +2,7 @@ import pytest
 
 from repro.config import small_testbed
 from repro.machine import Machine
-from repro.mpi.collectives import op_max, op_min, op_sum
+from repro.mpi.collectives import op_max, op_min
 from repro.mpi.process import MPIWorld
 from repro.sim.core import SimError
 

@@ -1,7 +1,5 @@
-import pytest
 
-from repro.config import PFSConfig, small_testbed
-from repro.machine import Machine
+from repro.config import PFSConfig
 from repro.pfs.server import DataServer, WriteBackCache, RaidTarget
 from repro.sim.core import Simulator
 from repro.units import MiB

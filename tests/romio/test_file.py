@@ -3,7 +3,7 @@ import pytest
 
 from repro.access import RankAccess
 from repro.sim.core import SimError
-from repro.units import KiB, MiB
+from repro.units import KiB
 from tests.conftest import make_cluster
 
 
@@ -110,7 +110,6 @@ class TestCacheFallback:
         """Paper: 'If for any reason the open of the cache file fails, the
         implementation reverts to standard open' — here the cache fills at
         write time and the driver falls back to the direct path."""
-        from dataclasses import replace
 
         machine, world, layer = make_cluster()
         # shrink node 0's scratch capacity to almost nothing

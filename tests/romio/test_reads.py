@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.access import RankAccess
 from repro.units import KiB

@@ -6,7 +6,6 @@ completion, (b) MPI_File_close() return, or (c) MPI_File_sync() return; the
 """
 
 import numpy as np
-import pytest
 
 from repro.access import RankAccess
 from repro.units import KiB

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.sim.core import AllOf, AnyOf, Event, Interrupt, SimError, Simulator
+from repro.sim.core import Interrupt, SimError, Simulator
 
 
 @pytest.fixture

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.config import deep_er_testbed, small_testbed
 from repro.machine import Machine
