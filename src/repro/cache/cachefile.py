@@ -20,8 +20,9 @@ import numpy as np
 
 from repro.cache.policy import CachePolicy
 from repro.cache.syncthread import SyncRequest, SyncThread
+from repro.faults.recovery import CacheJournal
 from repro.intervals import IntervalSet
-from repro.localfs.ext4 import ENOSPC, LocalFileSystem
+from repro.localfs.ext4 import LocalFileSystem
 from repro.mpi.request import GeneralizedRequest
 
 
@@ -51,6 +52,32 @@ class CacheState:
         self.bytes_cached = 0
         self._stripe_refs: dict[int, int] = {}
         self.closed = False
+        # Fault state: a degraded cache stops accepting new writes (the
+        # driver falls back to direct PFS writes) but keeps draining what it
+        # already holds.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        # Crash-recovery journal: shares `cached` / `_stripe_refs` by
+        # reference, so it always reflects live state without double
+        # bookkeeping.  flush_none caches are never persisted — no journal.
+        self.journal: Optional[CacheJournal] = None
+        if not policy.flush_never:
+            self.journal = CacheJournal(
+                path=global_file.path,
+                rank=rank,
+                node_id=rank // machine.config.procs_per_node,
+                local_path=cache_name,
+                local_file=self.local_file,
+                file_id=global_file.file_id,
+                sync_chunk=policy.sync_chunk,
+                discard_on_close=policy.discard_on_close,
+                cached=self.cached,
+                synced=IntervalSet(),
+                stripe_refs=self._stripe_refs,
+            )
+            registry = getattr(machine, "recovery", None)
+            if registry is not None:
+                registry.register(self.journal)
 
     # -- space management (ADIOI_Cache_alloc) ----------------------------------
     def allocate(self, offset: int, nbytes: int):
@@ -75,9 +102,9 @@ class CacheState:
             stripes = tuple(held)
         try:
             yield from self.localfs.write(self.local_file, offset, nbytes, data)
-        except ENOSPC:
-            # Undo coherent locks before propagating: the caller falls back
-            # to a direct global write.
+        except OSError:
+            # ENOSPC or a lost device: undo coherent locks before
+            # propagating — the caller falls back to a direct global write.
             for s in stripes:
                 self.release_stripe(s)
             raise
@@ -99,6 +126,26 @@ class CacheState:
         else:
             self.pending.append(request)
         return greq
+
+    def mark_synced(self, offset: int, nbytes: int) -> None:
+        """Record that ``[offset, offset+nbytes)`` reached the global file —
+        crash recovery skips synced ranges."""
+        if self.journal is not None:
+            self.journal.synced.add(offset, offset + nbytes)
+
+    def degrade(self, reason: str) -> None:
+        """Enter degraded mode: new writes bypass the cache, in-flight
+        extents keep draining.  Idempotent."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = reason
+        stats = getattr(self.machine, "cache_stats", None)
+        if stats is not None:
+            stats["degraded"] = stats.get("degraded", 0) + 1
+        self.machine.tracer.emit(
+            self.machine.sim.now, "cache", "degraded", rank=self.rank, reason=reason
+        )
 
     def release_stripe(self, stripe: int) -> None:
         refs = self._stripe_refs.get(stripe, 0)
@@ -127,7 +174,12 @@ class CacheState:
         yield from self.flush()
         self.sync_thread.shutdown()
         self.localfs.close(self.local_file)
-        if self.policy.discard_on_close:
+        if self.policy.discard_on_close and self.localfs.writable:
             if self.localfs.exists(self.local_file.path):
                 self.localfs.unlink(self.local_file.path)
+        if self.journal is not None:
+            registry = getattr(self.machine, "recovery", None)
+            if registry is not None:
+                registry.unregister(self.journal)
+            self.journal = None
         self.closed = True

@@ -16,6 +16,14 @@ class CachePolicy:
     cache_path: str
     sync_chunk: int  # ind_wr_buffer_size
 
+    # Sync-thread fault handling: transient failures are retried in place
+    # with exponential backoff, then the remainder of the request is
+    # re-queued at the tail a bounded number of times before giving up.
+    sync_retry_limit: int = 4
+    sync_backoff_base: float = 2e-3
+    sync_backoff_factor: float = 2.0
+    sync_requeue_limit: int = 2
+
     @property
     def flush_immediate(self) -> bool:
         return self.flush_mode == "flush_immediate"
@@ -26,6 +34,7 @@ class CachePolicy:
 
     @classmethod
     def from_hints(cls, hints: Hints) -> "CachePolicy":
+        hints.validate()
         return cls(
             enabled=hints.cache_enabled,
             coherent=hints.cache_coherent,

@@ -10,14 +10,26 @@ file through the *synchronous* independent-write client path, then calls
 ``flush_batch_chunks`` (a simulation fidelity knob, not a semantic one)
 coalesces several chunks into one macro-operation whose cost is the sum of
 the per-chunk costs; 1 reproduces the implementation exactly.
+
+Fault handling: transient :class:`~repro.faults.errors.FaultError` failures
+(SSD read errors, PFS RPC timeouts) are retried in place with exponential
+backoff up to ``policy.sync_retry_limit`` attempts; a chunk that exhausts
+its retries re-queues the *remainder* of its request at the queue tail up
+to ``policy.sync_requeue_limit`` times before the grequest is failed with
+:class:`~repro.faults.errors.SyncFailedError`.  Progress is tracked
+per-chunk through ``cache_state.mark_synced`` so crash recovery replays
+only genuinely unflushed bytes.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.faults.errors import FaultError, SyncFailedError
 from repro.mpi.request import GeneralizedRequest
+from repro.sim.core import Interrupt
 from repro.sim.resources import Store
 
 
@@ -27,13 +39,14 @@ class SyncRequest:
 
     offset: int
     nbytes: int
-    grequest: GeneralizedRequest
+    grequest: Optional[GeneralizedRequest]
     stripes: tuple[int, ...] = ()  # stripes to unlock when persisted (coherent)
 
     shutdown: bool = False
+    requeues: int = 0  # times this extent has been re-queued after give-up
 
 
-_SHUTDOWN = SyncRequest(0, 0, None, shutdown=True)  # type: ignore[arg-type]
+_SHUTDOWN = SyncRequest(0, 0, None, shutdown=True)
 
 
 class SyncThread:
@@ -52,7 +65,13 @@ class SyncThread:
         self.bytes_synced = 0
         self.requests_done = 0
         self.busy_time = 0.0
+        self.retries = 0
+        self.requeues = 0
+        self.failures = 0
         self._proc = self.sim.process(self._run(), name=f"syncthread.r{rank}")
+        inj = getattr(machine, "faults", None)
+        if inj is not None:
+            inj.register_daemon(self._proc)
 
     def submit(self, request: SyncRequest) -> None:
         self.queue.put(request)
@@ -66,27 +85,90 @@ class SyncThread:
 
     # -- the thread body ---------------------------------------------------------
     def _run(self):
+        try:
+            while True:
+                req: SyncRequest = yield self.queue.get()
+                if req.shutdown or req.grequest is None:
+                    return
+                yield from self._service(req)
+        except Interrupt:
+            # The job was torn down (aggregator crash).  The cache file and
+            # its journal survive; recovery replays unflushed extents on the
+            # next open.  Returning cleanly parks this daemon.
+            return
+
+    def _service(self, req: SyncRequest):
         cfg = self.machine.config
         chunk = self.policy.sync_chunk
         batch_chunks = max(1, cfg.flush_batch_chunks)
-        while True:
-            req: SyncRequest = yield self.queue.get()
-            if req.shutdown:
-                return
-            t0 = self.sim.now
-            pos = req.offset
-            end = req.offset + req.nbytes
+        t0 = self.sim.now
+        pos = req.offset
+        end = req.offset + req.nbytes
+        attempts = 0
+        try:
             while pos < end:
                 blen = min(chunk * batch_chunks, end - pos)
                 nchunks = math.ceil(blen / chunk)
-                data = yield from self.localfs.read(self.cache_state.local_file, pos, blen)
-                yield from self.client.write_sync(
-                    self.global_file, pos, blen, data=data, rpc_count=nchunks
-                )
+                try:
+                    data = yield from self.localfs.read(
+                        self.cache_state.local_file, pos, blen
+                    )
+                    yield from self.client.write_sync(
+                        self.global_file, pos, blen, data=data, rpc_count=nchunks
+                    )
+                except FaultError:
+                    attempts += 1
+                    self.retries += 1
+                    self._stat("retries")
+                    if attempts <= self.policy.sync_retry_limit:
+                        backoff = self.policy.sync_backoff_base * (
+                            self.policy.sync_backoff_factor ** (attempts - 1)
+                        )
+                        yield self.sim.timeout(backoff)
+                        continue
+                    self._give_up(req, pos, end)
+                    return
+                attempts = 0
+                self.cache_state.mark_synced(pos, blen)
+                self.bytes_synced += blen
                 pos += blen
-            self.bytes_synced += req.nbytes
-            self.requests_done += 1
+        finally:
             self.busy_time += self.sim.now - t0
-            for stripe in req.stripes:
-                self.cache_state.release_stripe(stripe)
+        self.requests_done += 1
+        for stripe in req.stripes:
+            self.cache_state.release_stripe(stripe)
+        if req.grequest is not None:
             req.grequest.complete()
+
+    def _give_up(self, req: SyncRequest, pos: int, end: int) -> None:
+        """Retries exhausted for the chunk at ``pos``: re-queue the remainder
+        at the tail (later faults may have cleared) or fail the grequest."""
+        if req.requeues < self.policy.sync_requeue_limit:
+            self.requeues += 1
+            self._stat("requeues")
+            self.queue.put(
+                SyncRequest(
+                    pos,
+                    end - pos,
+                    req.grequest,
+                    stripes=req.stripes,
+                    requeues=req.requeues + 1,
+                )
+            )
+            return
+        self.failures += 1
+        self._stat("sync_failures")
+        for stripe in req.stripes:
+            self.cache_state.release_stripe(stripe)
+        if req.grequest is not None:
+            req.grequest.fail(
+                SyncFailedError(
+                    f"sync of [{pos}, {end}) on rank {self.rank} abandoned "
+                    f"after {req.requeues} re-queues"
+                )
+            )
+
+    def _stat(self, key: str) -> None:
+        d = getattr(self.machine, "cache_stats", None)
+        if d is not None:
+            d[key] = d.get(key, 0) + 1

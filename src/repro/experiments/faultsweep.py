@@ -1,0 +1,368 @@
+"""Fault-matrix experiments: Table-II configurations under injected faults.
+
+Each measurement point runs a small multi-phase workload twice on identical
+cluster configs: once fault-free (the *reference*) and once under a
+:class:`~repro.faults.FaultSchedule`.  If the faulted job is killed by an
+injected aggregator crash, a follow-up *recovery job* re-opens every file on
+the same machine — the collective open replays orphaned cache extents — and
+the point reports recovery time and bytes replayed.  End-to-end integrity is
+asserted by comparing per-file SHA-256 checksums of the persisted global
+files against the reference run: the recovered (or degraded) job must be
+byte-identical to the fault-free one.
+
+Workloads here are deliberately tiny (tens of KiB per rank, payload-carrying
+so checksums are meaningful); the point is correctness under faults, not the
+paper's bandwidth figures.  Results flow through the same
+:class:`~repro.experiments.parallel.SweepRunner` / result-cache machinery as
+the Table-II sweeps, so fault matrices are cached, deduplicated, and
+byte-identical between serial and ``--jobs N`` execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional
+
+from repro.analysis.bandwidth import perceived_bandwidth
+from repro.config import ClusterConfig, small_testbed
+from repro.faults import FaultSchedule, FaultSpec, JobAborted
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+from repro.romio.file import MPIIOLayer
+from repro.sim.core import Interrupt
+from repro.units import KiB
+from repro.workloads import collperf_workload, flashio_workload, ior_workload
+from repro.workloads.phases import multi_phase_body
+
+FAULT_BENCHMARKS = ("coll_perf", "flash_io", "ior")
+FAULT_CACHE_MODES = ("disabled", "enabled", "coherent")
+
+#: The default fault matrix, in presentation order.
+SCENARIOS = (
+    "baseline",
+    "ssd_flaky",
+    "server_stall",
+    "link_degraded",
+    "ssd_loss",
+    "agg_crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultExperimentSpec:
+    """One fault-matrix point: a workload config plus a fault schedule."""
+
+    benchmark: str
+    scenario: str = "baseline"
+    faults: tuple = ()
+    sync_rpc_timeout: float = 0.0
+    cache_mode: str = "enabled"
+    flush_flag: str = "flush_onclose"
+    aggregators: int = 4
+    cb_buffer: int = 256 * KiB
+    sync_chunk: int = 64 * KiB
+    num_nodes: int = 4
+    procs_per_node: int = 2
+    num_files: int = 2
+    compute_delay: float = 0.05
+    scale: float = 1.0
+    seed: int = 2016
+
+    def __post_init__(self):
+        if self.benchmark not in FAULT_BENCHMARKS:
+            raise ValueError(f"unknown benchmark {self.benchmark!r}")
+        if self.cache_mode not in FAULT_CACHE_MODES:
+            raise ValueError(f"unknown cache mode {self.cache_mode!r}")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}/{self.cache_mode}"
+
+    def scaled(self, **kw) -> "FaultExperimentSpec":
+        return replace(self, **kw)
+
+
+@dataclass
+class FaultExperimentResult:
+    """Outcome of one fault-matrix point."""
+
+    spec: FaultExperimentSpec
+    integrity_ok: bool  # faulted/recovered files byte-identical to reference
+    crashed: bool  # the faulted job was killed by an injected crash
+    recovered: bool  # a recovery job ran (implies crashed)
+    bw_ref: float  # fault-free perceived bandwidth [B/s]
+    bw_faulted: float  # perceived bandwidth under faults (0.0 if crashed)
+    recovery_time: float  # sim seconds spent replaying orphaned extents
+    bytes_replayed: int
+    files_recovered: int
+    retries: int  # sync-thread transient-fault retries
+    requeues: int  # sync requests re-queued after exhausted retries
+    sync_failures: int  # sync requests abandoned entirely
+    degraded: int  # cache states that fell back to direct writes
+    faults_injected: int
+    checksums: dict = field(default_factory=dict)  # per-file hex digests
+    events: int = 0  # kernel events fired in the faulted run
+
+    @property
+    def degraded_bw_ratio(self) -> float:
+        """Faulted / reference bandwidth (0.0 when the faulted job died)."""
+        return self.bw_faulted / self.bw_ref if self.bw_ref > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["spec"] = asdict(self.spec)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultExperimentResult":
+        fields_ = dict(d)
+        spec = dict(fields_["spec"])
+        spec["faults"] = tuple(FaultSpec.from_dict(f) for f in spec.get("faults", ()))
+        fields_["spec"] = FaultExperimentSpec(**spec)
+        return cls(**fields_)
+
+
+# -- workload / config -------------------------------------------------------
+def build_fault_workload(spec: FaultExperimentSpec, nprocs: int):
+    """A tiny payload-carrying workload so checksums verify real bytes."""
+    s = max(spec.scale, 0.0)
+    if spec.benchmark == "coll_perf":
+        block = max(8 * KiB, (int(128 * KiB * s) // (2 * KiB)) * 2 * KiB)
+        return collperf_workload(
+            nprocs, block_bytes=block, with_data=True, seed=spec.seed
+        )
+    if spec.benchmark == "flash_io":
+        blocks = max(1, int(round(2 * s)))
+        return flashio_workload(
+            nprocs, blocks_per_proc=blocks, with_data=True, seed=spec.seed
+        )
+    return ior_workload(
+        nprocs,
+        block_bytes=64 * KiB,
+        segments=max(1, int(round(2 * s))),
+        with_data=True,
+        seed=spec.seed,
+    )
+
+
+def fault_hints_for(spec: FaultExperimentSpec) -> dict[str, str]:
+    hints = {
+        "cb_nodes": str(spec.aggregators),
+        "cb_buffer_size": str(spec.cb_buffer),
+        "romio_cb_write": "enable",
+        "striping_unit": str(256 * KiB),
+        "striping_factor": "4",
+        "ind_wr_buffer_size": str(spec.sync_chunk),
+    }
+    if spec.cache_mode in ("enabled", "coherent"):
+        hints.update(
+            e10_cache="enable" if spec.cache_mode == "enabled" else "coherent",
+            e10_cache_flush_flag=spec.flush_flag,
+            e10_cache_discard_flag="enable",
+        )
+    return hints
+
+
+def resolve_fault_config(
+    spec: FaultExperimentSpec, config: Optional[ClusterConfig] = None
+) -> ClusterConfig:
+    """The cluster a fault point runs on (explicit config wins unchanged)."""
+    if config is not None:
+        return config
+    return small_testbed(
+        num_nodes=spec.num_nodes, procs_per_node=spec.procs_per_node, seed=spec.seed
+    )
+
+
+def _file_prefix(spec: FaultExperimentSpec) -> str:
+    return f"/global/fault_{spec.benchmark}_{spec.scenario}_{spec.cache_mode}_"
+
+
+def _checksums(machine: Machine, paths: list[str]) -> dict[str, str]:
+    out = {}
+    for path in paths:
+        if machine.pfs.exists(path):
+            img = machine.pfs.lookup(path).data_image()
+            out[path] = hashlib.sha256(img.tobytes()).hexdigest()
+    return out
+
+
+# -- the point runner --------------------------------------------------------
+def run_fault_experiment(
+    spec: FaultExperimentSpec, config: Optional[ClusterConfig] = None
+) -> FaultExperimentResult:
+    cfg = resolve_fault_config(spec, config)
+    hints = fault_hints_for(spec)
+    deferred = spec.cache_mode != "disabled"
+    prefix = _file_prefix(spec)
+    paths = [f"{prefix}{k}" for k in range(spec.num_files)]
+
+    def _body(layer, workload):
+        return multi_phase_body(
+            layer,
+            workload,
+            hints,
+            num_files=spec.num_files,
+            compute_delay=spec.compute_delay,
+            deferred_close=deferred,
+            file_prefix=prefix,
+        )
+
+    # Reference: the same point, fault-free, on an identical fresh cluster.
+    ref_machine = Machine(cfg)
+    ref_world = MPIWorld(ref_machine)
+    ref_layer = MPIIOLayer(
+        ref_machine, ref_world.comm, driver="beegfs", exchange_mode="model"
+    )
+    workload = build_fault_workload(spec, cfg.num_ranks)
+    ref_timings = ref_world.run(_body(ref_layer, workload))
+    ref_checks = _checksums(ref_machine, paths)
+    bw_ref = perceived_bandwidth(
+        ref_timings, workload.file_size, include_last_phase=True
+    )
+
+    # Faulted run.
+    schedule = FaultSchedule(faults=spec.faults, sync_rpc_timeout=spec.sync_rpc_timeout)
+    machine = Machine(cfg, faults=schedule if schedule else None)
+    world = MPIWorld(machine)
+    layer = MPIIOLayer(machine, world.comm, driver="beegfs", exchange_mode="model")
+    crashed = False
+    recovered = False
+    bw_faulted = 0.0
+    try:
+        timings = world.run(_body(layer, workload))
+        bw_faulted = perceived_bandwidth(
+            timings, workload.file_size, include_last_phase=True
+        )
+    except Interrupt as exc:
+        if not isinstance(exc.cause, JobAborted):
+            raise
+        crashed = True
+
+    if crashed:
+        # Recovery job on the *same machine* (the cluster survives; only the
+        # MPI job died): re-open every file collectively — the open path
+        # replays orphaned cache extents — then close.
+        live = [p for p in paths if machine.pfs.exists(p)]
+        rec_world = MPIWorld(machine)
+        rec_layer = MPIIOLayer(
+            machine, rec_world.comm, driver="beegfs", exchange_mode="model"
+        )
+
+        def recovery_body(ctx):
+            for path in live:
+                fh = yield from rec_layer.open(ctx.rank, path, {})
+                yield from fh.close()
+
+        rec_world.run(recovery_body)
+        recovered = True
+
+    checks = _checksums(machine, paths)
+    integrity_ok = bool(checks) and checks == ref_checks
+    rec_stats = machine.recovery.stats()
+    cache_stats = machine.cache_stats
+    return FaultExperimentResult(
+        spec=spec,
+        integrity_ok=integrity_ok,
+        crashed=crashed,
+        recovered=recovered,
+        bw_ref=bw_ref,
+        bw_faulted=bw_faulted,
+        recovery_time=rec_stats["recovery_time"],
+        bytes_replayed=rec_stats["bytes_replayed"],
+        files_recovered=rec_stats["files_recovered"],
+        retries=cache_stats.get("retries", 0),
+        requeues=cache_stats.get("requeues", 0),
+        sync_failures=cache_stats.get("sync_failures", 0),
+        degraded=cache_stats.get("degraded", 0),
+        faults_injected=machine.faults.injected if machine.faults else 0,
+        checksums=checks,
+        events=machine.sim.events_fired,
+    )
+
+
+def _run_fault_point(spec: FaultExperimentSpec, config: Optional[ClusterConfig]):
+    """Module-level so the process pool can pickle it by reference."""
+    return run_fault_experiment(spec, config)
+
+
+# -- the matrix --------------------------------------------------------------
+def scenario_faults(
+    scenario: str, spec: FaultExperimentSpec
+) -> tuple[tuple[FaultSpec, ...], float]:
+    """The fault list + sync RPC timeout for a named scenario."""
+    last = spec.num_files - 1
+    if scenario == "baseline":
+        return (), 0.0
+    if scenario == "ssd_flaky":
+        # Node 0's SSD returns transient read errors for the whole run
+        # (duration 0 = open-ended); the sync thread's retry loop rerolls
+        # until each chunk gets through.
+        return (FaultSpec("ssd_io_error", target=0, start=0.0, rate=0.3),), 0.0
+    if scenario == "server_stall":
+        # Server 0 wedges across the deferred-close flush window; the sync
+        # path's client watchdog converts the hang into retryable timeouts.
+        return (
+            FaultSpec("server_stall", target=0, start=0.04, duration=0.06),
+        ), 0.01
+    if scenario == "link_degraded":
+        return (
+            FaultSpec("link_degrade", target=1, start=0.0, duration=0.1, factor=0.25),
+        ), 0.0
+    if scenario == "ssd_loss":
+        # Node 0's scratch device drops to read-only almost immediately:
+        # cached extents drain, new writes fall back to the direct path.
+        return (FaultSpec("ssd_device_loss", target=0, start=0.002),), 0.0
+    if scenario == "agg_crash":
+        # Kill the job shortly after the last write completes — mid
+        # flush/close, when cached extents are guaranteed to be in flight.
+        return (
+            FaultSpec("aggregator_crash", on_event=f"write_done:{last}", delay=2e-3),
+        ), 0.0
+    raise ValueError(f"unknown fault scenario {scenario!r}; have {SCENARIOS}")
+
+
+def fault_matrix_specs(
+    benchmarks: tuple[str, ...] = ("ior",),
+    scenarios: tuple[str, ...] = SCENARIOS,
+    cache_mode: str = "enabled",
+    scale: float = 1.0,
+    seed: int = 2016,
+) -> list[FaultExperimentSpec]:
+    """Build the fault matrix: benchmarks × scenarios at one cache mode."""
+    specs = []
+    for bench in benchmarks:
+        for scenario in scenarios:
+            base = FaultExperimentSpec(
+                benchmark=bench,
+                scenario=scenario,
+                cache_mode=cache_mode,
+                scale=scale,
+                seed=seed,
+            )
+            faults, timeout = scenario_faults(scenario, base)
+            specs.append(base.scaled(faults=faults, sync_rpc_timeout=timeout))
+    return specs
+
+
+def render_fault_table(results: list[FaultExperimentResult]) -> str:
+    """Fixed-width summary table, one row per point."""
+    header = (
+        f"{'benchmark':<10} {'scenario':<14} {'ok':<3} {'crash':<6} "
+        f"{'bw_ratio':>8} {'replayed':>9} {'t_rec[ms]':>9} "
+        f"{'retry':>5} {'requeue':>7} {'degr':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.spec.benchmark:<10} {r.spec.scenario:<14} "
+            f"{'y' if r.integrity_ok else 'N':<3} "
+            f"{'y' if r.crashed else '-':<6} "
+            f"{r.degraded_bw_ratio:>8.3f} {r.bytes_replayed:>9} "
+            f"{r.recovery_time * 1e3:>9.2f} "
+            f"{r.retries:>5} {r.requeues:>7} {r.degraded:>4}"
+        )
+    return "\n".join(lines)

@@ -95,6 +95,11 @@ class SweepRunner:
     worker:
         The per-point function ``(spec, config) -> ExperimentResult``.
         Overridable for tests; must be picklable when ``jobs > 1``.
+    resolver:
+        ``(spec, config) -> ClusterConfig``: the config a spec actually runs
+        on, used for cache keying.  Defaults to the Table-II sweep's
+        :func:`~repro.experiments.runner.resolve_config`; the fault sweep
+        passes its own.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class SweepRunner:
         retries: int = 1,
         progress: Optional[ProgressFn] = None,
         worker: Callable = _run_point,
+        resolver: Callable = resolve_config,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = default_cache() if cache is None else cache
@@ -112,6 +118,7 @@ class SweepRunner:
         self.retries = max(0, int(retries))
         self.progress = progress
         self.worker = worker
+        self.resolver = resolver
         self.simulated = 0  # points actually run (pool + inline + retries)
 
     def _report(self, done: int, total: int, spec: ExperimentSpec, source: str):
@@ -134,12 +141,12 @@ class SweepRunner:
         dup_of: dict[int, int] = {}
         to_run: list[int] = []
         for i, spec in enumerate(specs):
-            key = cache_key(spec, resolve_config(spec, config))
+            key = cache_key(spec, self.resolver(spec, config))
             if key in first_of:
                 dup_of[i] = first_of[key]
                 continue
             first_of[key] = i
-            hit = self.cache.get(spec, resolve_config(spec, config))
+            hit = self.cache.get(spec, self.resolver(spec, config))
             if hit is not None:
                 results[i] = hit
                 done += 1
@@ -202,7 +209,7 @@ class SweepRunner:
 
         # Persist fresh results, then satisfy duplicates by reference.
         for i in to_run:
-            self.cache.put(specs[i], resolve_config(specs[i], config), results[i])
+            self.cache.put(specs[i], self.resolver(specs[i], config), results[i])
         for i, j in dup_of.items():
             results[i] = results[j]
             done += 1

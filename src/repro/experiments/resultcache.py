@@ -77,20 +77,36 @@ class ResultCache:
     "a warm re-run performs zero simulations" directly assertable.
     """
 
-    def __init__(self, root: Optional[str | Path] = None, enabled: bool = True):
+    def __init__(
+        self,
+        root: Optional[str | Path] = None,
+        enabled: bool = True,
+        result_cls: Optional[type] = None,
+    ):
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         self.root = Path(root)
         self.enabled = enabled
+        # The record type deserialised on a hit.  Defaults to
+        # ExperimentResult (resolved lazily: import cycle); the fault sweep
+        # stores FaultExperimentResult records in its own cache instance.
+        self._result_cls = result_cls
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
 
     @classmethod
-    def disabled(cls) -> "ResultCache":
+    def disabled(cls, result_cls: Optional[type] = None) -> "ResultCache":
         """A no-op cache: every get misses, every put is dropped."""
-        return cls(enabled=False)
+        return cls(enabled=False, result_cls=result_cls)
+
+    def _record_cls(self) -> type:
+        if self._result_cls is None:
+            from repro.experiments.runner import ExperimentResult
+
+            self._result_cls = ExperimentResult
+        return self._result_cls
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -98,8 +114,6 @@ class ResultCache:
     def get(
         self, spec: "ExperimentSpec", config: "ClusterConfig"
     ) -> Optional["ExperimentResult"]:
-        from repro.experiments.runner import ExperimentResult
-
         if not self.enabled:
             self.misses += 1
             return None
@@ -117,7 +131,7 @@ class ResultCache:
         try:
             if record["schema"] != CACHE_SCHEMA_VERSION or record["key"] != key:
                 raise ValueError("stale or mismatched record")
-            result = ExperimentResult.from_dict(record["result"])
+            result = self._record_cls().from_dict(record["result"])
         except (KeyError, TypeError, ValueError):
             self.corrupt += 1
             self.misses += 1

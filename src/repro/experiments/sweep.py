@@ -17,6 +17,14 @@ sweep and prints one bandwidth table per benchmark.  With ``--figures`` it
 regenerates the named paper figures (through the exact same
 :class:`~repro.experiments.parallel.SweepRunner`) and writes each rendered
 table to ``--output-dir`` as ``<name>.txt``.
+
+``--faults`` switches to the fault matrix
+(:mod:`repro.experiments.faultsweep`): every Table-II hint configuration in
+the matrix runs under injected faults and the exit status is non-zero unless
+every point's recovered/degraded output is byte-identical to its fault-free
+reference::
+
+    python -m repro.experiments.sweep --faults --jobs 2 --no-cache
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import figures
+from repro.experiments import faultsweep, figures
 from repro.experiments.parallel import SweepError, SweepRunner, default_jobs
 from repro.experiments.report import (
     render_bandwidth_table,
@@ -93,15 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write rendered figure tables here (with --figures)",
     )
+    p.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-injection matrix and assert end-to-end integrity",
+    )
+    p.add_argument(
+        "--fault-scenario",
+        action="append",
+        choices=faultsweep.SCENARIOS,
+        help="restrict --faults to these scenarios (repeatable; default: all)",
+    )
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return p
 
 
-def make_runner(args: argparse.Namespace) -> SweepRunner:
+def make_runner(args: argparse.Namespace, faults: bool = False) -> SweepRunner:
+    result_cls = faultsweep.FaultExperimentResult if faults else None
     if args.no_cache:
-        cache = ResultCache.disabled()
+        cache = ResultCache.disabled(result_cls=result_cls)
+    elif args.cache_dir:
+        cache = ResultCache(root=args.cache_dir, result_cls=result_cls)
+    elif faults:
+        cache = ResultCache(result_cls=result_cls)
     else:
-        cache = ResultCache(root=args.cache_dir) if args.cache_dir else None
+        cache = None
     progress = None
     if not args.quiet:
 
@@ -112,8 +136,14 @@ def make_runner(args: argparse.Namespace) -> SweepRunner:
             )
             print(line, file=sys.stderr, flush=True)
 
+    kwargs = {}
+    if faults:
+        kwargs.update(
+            worker=faultsweep._run_fault_point,
+            resolver=faultsweep.resolve_fault_config,
+        )
     return SweepRunner(
-        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
+        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress, **kwargs
     )
 
 
@@ -160,14 +190,45 @@ def run_raw(args: argparse.Namespace, runner: SweepRunner) -> int:
     return 0
 
 
+def run_faults(args: argparse.Namespace, runner: SweepRunner) -> int:
+    benchmarks = tuple(args.benchmark or ("ior",))
+    scenarios = tuple(args.fault_scenario or faultsweep.SCENARIOS)
+    scale = args.scale if args.scale is not None else default_scale()
+    specs = faultsweep.fault_matrix_specs(
+        benchmarks=benchmarks, scenarios=scenarios, scale=scale
+    )
+    results = runner.run(specs)
+    print(faultsweep.render_fault_table(results))
+    bad = [r for r in results if not r.integrity_ok]
+    crashes = [r for r in results if r.crashed]
+    unrecovered = [r for r in crashes if not r.recovered]
+    if bad or unrecovered:
+        for r in bad:
+            print(
+                f"INTEGRITY FAILURE: {r.spec.benchmark}/{r.spec.scenario}: "
+                f"persisted data differs from the fault-free reference",
+                file=sys.stderr,
+            )
+        for r in unrecovered:
+            print(
+                f"RECOVERY FAILURE: {r.spec.benchmark}/{r.spec.scenario}: "
+                f"crashed job was never recovered",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    runner = make_runner(args)
+    runner = make_runner(args, faults=args.faults)
     scale = args.scale if args.scale is not None else default_scale()
     aggs, cbs = grid(args)
     t0 = time.monotonic()
     try:
-        if args.figures:
+        if args.faults:
+            status = run_faults(args, runner)
+        elif args.figures:
             status = run_figures(args, runner)
         else:
             status = run_raw(args, runner)

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and crash recovery (the robustness layer).
+
+See :mod:`repro.faults.spec` for declaring fault schedules,
+:mod:`repro.faults.injector` for how they are delivered, and
+:mod:`repro.faults.recovery` for the cache crash-recovery journals the
+paper's persistence argument rests on.
+"""
+
+from repro.faults.errors import (
+    DeviceLostError,
+    FaultError,
+    JobAborted,
+    PFSTimeoutError,
+    SyncFailedError,
+    TransientIOError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import CacheJournal, CacheRecoveryRegistry
+from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec, schedule_from_dicts
+
+__all__ = [
+    "FAULT_KINDS",
+    "CacheJournal",
+    "CacheRecoveryRegistry",
+    "DeviceLostError",
+    "FaultError",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "JobAborted",
+    "PFSTimeoutError",
+    "SyncFailedError",
+    "TransientIOError",
+    "schedule_from_dicts",
+]

@@ -1,0 +1,49 @@
+"""Exception taxonomy for injected faults and the robustness machinery.
+
+All injected I/O conditions derive from :class:`FaultError` (an ``OSError``),
+so existing fallback paths that catch ``OSError`` — e.g. the ADIO driver's
+revert-to-direct-write on cache failure — handle them without modification,
+while the sync thread can narrowly catch :class:`FaultError` to drive its
+retry/backoff loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class FaultError(OSError):
+    """Base class for injected I/O faults."""
+
+
+class TransientIOError(FaultError):
+    """A retryable device error (media hiccup, dropped request)."""
+
+
+class DeviceLostError(FaultError):
+    """The cache device failed into read-only mode (EROFS semantics).
+
+    SATA/NVMe SSDs characteristically fail *read-only* at end of life: the
+    controller refuses new program/erase cycles but already-written blocks
+    remain readable.  Modelling device loss this way lets the sync thread
+    keep draining persisted extents while new cache writes revert to the
+    direct PFS path.
+    """
+
+
+class PFSTimeoutError(FaultError):
+    """A synchronous PFS RPC exceeded the client's timeout (server stall)."""
+
+
+class SyncFailedError(OSError):
+    """The sync thread exhausted its retry and re-queue budget for an extent."""
+
+
+class JobAborted(RuntimeError):
+    """Carried as the ``cause`` of the :class:`~repro.sim.core.Interrupt`
+    thrown into every rank process when an aggregator crash fault fires —
+    the simulated analogue of ``mpirun`` tearing the whole job down."""
+
+    def __init__(self, spec: Any):
+        super().__init__(f"job aborted by fault {spec!r}")
+        self.spec = spec

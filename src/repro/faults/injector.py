@@ -1,0 +1,242 @@
+"""The fault injector: wires a :class:`FaultSchedule` into a live machine.
+
+Determinism contract: every probabilistic decision draws from a *named*
+:class:`~repro.sim.rng.RngStreams` stream (``faults.ssd.n<node>``), and all
+triggering happens through ordinary simulator events, so a fault schedule
+produces byte-identical outcomes for a given seed — in-process, across
+processes, and under ``--jobs N`` sweep parallelism.
+
+Injection points (each component holds a plain reference to the injector and
+calls a narrow hook, so a machine without faults pays one ``is None`` test):
+
+* :meth:`on_device_read` — raised into SSD reads (the sync thread's
+  read-back path) as :class:`~repro.faults.errors.TransientIOError`.
+* ``ssd_device_loss`` — flips the node's SSD to ``read_only``; the local FS
+  turns subsequent writes/fallocates into
+  :class:`~repro.faults.errors.DeviceLostError` (EROFS semantics) while
+  reads keep working, which is the realistic SSD end-of-life mode and
+  exactly what lets the sync thread drain already-cached extents.
+* :meth:`server_gate` — yielded inside a data server's RPC service while a
+  stall window is open (holding the worker: head-of-line blocking).
+* ``link_degrade`` — scales one fabric endpoint's NIC capacity via
+  :meth:`~repro.net.fabric.Fabric.set_node_bw_factor` for the window.
+* ``aggregator_crash`` — interrupts every registered rank process (and the
+  sync-thread daemons) with :class:`~repro.faults.errors.JobAborted`: the
+  simulated ``mpirun`` teardown.  Node-local state — page cache, cache
+  files, the recovery journals — survives, because the paper's recovery
+  argument is precisely that a *process* crash does not lose SSD contents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.errors import JobAborted, TransientIOError
+from repro.faults.spec import FaultSchedule, FaultSpec
+from repro.sim.core import Process, SimError
+
+
+class _FaultState:
+    """Runtime state of one scheduled fault (specs are frozen/shared)."""
+
+    __slots__ = ("spec", "active_at")
+
+    def __init__(self, spec: FaultSpec, active_at: Optional[float] = None):
+        self.spec = spec
+        self.active_at = active_at  # None until (event-)triggered
+
+
+class FaultInjector:
+    """Drives one :class:`FaultSchedule` against one :class:`~repro.machine.Machine`."""
+
+    def __init__(self, machine, schedule: FaultSchedule):
+        self.machine = machine
+        self.sim = machine.sim
+        self.rng = machine.rng
+        self.tracer = machine.tracer
+        self.schedule = schedule
+        self.sync_rpc_timeout = float(schedule.sync_rpc_timeout)
+        self.crashed: Optional[JobAborted] = None
+        self.crash_time: Optional[float] = None
+        self.injected = 0  # count of fault effects actually delivered
+        self._rank_procs: list[Process] = []
+        self._daemons: list[Process] = []
+        self._ssd_read: dict[int, list[_FaultState]] = {}
+        self._stalls: dict[int, list[_FaultState]] = {}
+        self._by_event: dict[str, list[_FaultState]] = {}
+        self._wire()
+
+    # -- wiring ----------------------------------------------------------------
+    def _wire(self) -> None:
+        cfg = self.machine.config
+        for spec in self.schedule.faults:
+            self._validate_target(spec, cfg)
+            state = _FaultState(spec)
+            if spec.kind == "ssd_io_error":
+                self._ssd_read.setdefault(spec.target, []).append(state)
+                ssd = self.machine.nodes[spec.target].ssd
+                ssd.injector = self
+                ssd.fault_node = spec.target
+            elif spec.kind == "server_stall":
+                self._stalls.setdefault(spec.target, []).append(state)
+                self.machine.pfs.servers[spec.target].injector = self
+            if spec.on_event:
+                self._by_event.setdefault(spec.on_event, []).append(state)
+            elif spec.kind in ("ssd_io_error", "server_stall"):
+                # Window faults need no trigger process: activity inside the
+                # window consults the clock.
+                state.active_at = spec.start
+            else:
+                self.sim.process(
+                    self._trigger_later(state, spec.start),
+                    name=f"fault:{spec.kind}",
+                )
+        if self.sync_rpc_timeout > 0:
+            self.machine.pfs.injector = self
+
+    @staticmethod
+    def _validate_target(spec: FaultSpec, cfg) -> None:
+        if spec.kind in ("ssd_io_error", "ssd_device_loss"):
+            if spec.target >= cfg.num_nodes:
+                raise SimError(
+                    f"{spec.kind} targets node {spec.target}, "
+                    f"but the cluster has {cfg.num_nodes} nodes"
+                )
+        elif spec.kind == "server_stall":
+            if spec.target >= cfg.pfs.num_data_servers:
+                raise SimError(
+                    f"server_stall targets server {spec.target}, "
+                    f"but the PFS has {cfg.pfs.num_data_servers} data servers"
+                )
+
+    # -- registration ----------------------------------------------------------
+    def register_ranks(self, procs: list[Process]) -> None:
+        """Adopt the current job's rank processes as crash-interrupt targets.
+
+        A new world on the same machine (the recovery run) replaces the old,
+        already-dead set.
+        """
+        self._rank_procs = list(procs)
+
+    def register_daemon(self, proc: Process) -> None:
+        """Register a background process (sync thread) that must be torn down
+        with the job on a crash.  Daemons catch the Interrupt and die quietly."""
+        self._daemons.append(proc)
+
+    # -- event-driven triggering -------------------------------------------------
+    def notify(self, event: str) -> None:
+        """Workload progress notification (e.g. ``write_done:2``).
+
+        The first notification consumes every fault armed on that event;
+        repeats (all ranks emit the same milestone) are no-ops.
+        """
+        for state in self._by_event.pop(event, ()):
+            self.sim.process(
+                self._trigger_later(state, state.spec.delay),
+                name=f"fault:{state.spec.kind}",
+            )
+
+    def _trigger_later(self, state: _FaultState, delay: float):
+        yield self.sim.timeout(delay)
+        self._activate(state)
+
+    def _activate(self, state: _FaultState) -> None:
+        spec = state.spec
+        state.active_at = self.sim.now
+        if spec.kind == "ssd_device_loss":
+            self.injected += 1
+            self.machine.nodes[spec.target].ssd.read_only = True
+            self._emit("ssd_device_loss", node=spec.target)
+        elif spec.kind == "link_degrade":
+            self.injected += 1
+            self.machine.fabric.set_node_bw_factor(spec.target, spec.factor)
+            self._emit("link_degrade", node=spec.target, factor=spec.factor)
+            if spec.duration > 0:
+                self.sim.process(self._restore_link(spec), name="fault:link-restore")
+        elif spec.kind == "aggregator_crash":
+            self._fire_crash(spec)
+        # ssd_io_error / server_stall: the window is now open; the per-I/O
+        # hooks do the rest.
+
+    def _restore_link(self, spec: FaultSpec):
+        yield self.sim.timeout(spec.duration)
+        self.machine.fabric.set_node_bw_factor(spec.target, 1.0)
+        self._emit("link_restore", node=spec.target)
+
+    # -- crash -------------------------------------------------------------------
+    def _fire_crash(self, spec: FaultSpec) -> None:
+        if self.crashed is not None:
+            return  # one teardown per schedule
+        self.crashed = JobAborted(spec)
+        self.crash_time = self.sim.now
+        self.injected += 1
+        self._emit("aggregator_crash", target=spec.target)
+        # The OS closes a dead process's descriptors; without this the
+        # recovery pass could never reclaim a replayed cache file's space.
+        recovery = getattr(self.machine, "recovery", None)
+        if recovery is not None:
+            for journal in recovery.entries():
+                fs = self.machine.local_fs[journal.node_id]
+                while journal.local_file.open_count > 0:
+                    fs.close(journal.local_file)
+        for proc in self._daemons:
+            proc.interrupt(self.crashed)
+        for proc in self._rank_procs:
+            proc.interrupt(self.crashed)
+
+    # -- per-I/O hooks --------------------------------------------------------------
+    def on_device_read(self, device, offset: int, nbytes: int) -> None:
+        """Called from :meth:`StorageDevice._io` before servicing a read."""
+        node = device.fault_node
+        for state in self._ssd_read.get(node, ()):
+            if not self._window_open(state):
+                continue
+            spec = state.spec
+            rng = self.rng.stream(f"faults.ssd.n{node}")
+            if spec.rate >= 1.0 or rng.random() < spec.rate:
+                device.io_errors_injected += 1
+                self.injected += 1
+                self._emit("ssd_io_error", node=node, offset=offset, nbytes=nbytes)
+                raise TransientIOError(
+                    f"injected read error on {device.name} "
+                    f"[{offset}, {offset + nbytes})"
+                )
+
+    def server_gate(self, server_id: int):
+        """Generator yielded inside a data server's RPC service path: blocks
+        (holding the worker) until every open stall window on this server has
+        passed.  An unbounded stall parks the RPC forever."""
+        while True:
+            wait = self._stall_remaining(server_id)
+            if wait <= 0:
+                return
+            self.injected += 1
+            self._emit("server_stall_block", server=server_id, wait=wait)
+            if wait == float("inf"):
+                yield self.sim.event(name=f"stall-forever.s{server_id}")
+                return  # pragma: no cover - the event never fires
+            yield self.sim.timeout(wait)
+
+    def _stall_remaining(self, server_id: int) -> float:
+        now = self.sim.now
+        wait = 0.0
+        for state in self._stalls.get(server_id, ()):
+            if not self._window_open(state):
+                continue
+            if state.spec.duration <= 0:
+                return float("inf")
+            wait = max(wait, state.active_at + state.spec.duration - now)
+        return wait
+
+    def _window_open(self, state: _FaultState) -> bool:
+        if state.active_at is None:
+            return False
+        now = self.sim.now
+        if now < state.active_at:
+            return False
+        spec = state.spec
+        return spec.duration <= 0 or now < state.active_at + spec.duration
+
+    # -- bookkeeping -----------------------------------------------------------------
+    def _emit(self, event: str, **detail) -> None:
+        self.tracer.emit(self.sim.now, "faults", event, **detail)

@@ -1,0 +1,130 @@
+"""Declarative, hashable fault descriptions.
+
+A :class:`FaultSpec` is a frozen dataclass so it can sit inside experiment
+specs and flow through :func:`dataclasses.asdict` into the result-cache key —
+two sweep points that differ only in their fault schedule hash to different
+cache records, and identical schedules replay byte-identically from cache.
+
+Triggering is either *clock-driven* (``start``/``duration`` in simulated
+seconds) or *event-driven* (``on_event`` + ``delay``): the workload driver
+emits named progress events (``write_done:<k>`` after the write phase of
+file ``k``), which makes crash points robust against calibration changes —
+"crash during the flush of the last file" stays meaningful no matter how
+long the write phase takes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+#: Recognised fault kinds, and which component each targets:
+#:
+#: ``ssd_io_error``      transient read errors on node ``target``'s SSD,
+#:                       probability ``rate`` per I/O inside the window
+#: ``ssd_device_loss``   node ``target``'s SSD goes read-only (EROFS) at the
+#:                       trigger; persisted blocks stay readable
+#: ``server_stall``      PFS data server ``target`` stops serving for
+#:                       ``duration`` seconds (head-of-line blocks a worker)
+#: ``link_degrade``      node ``target``'s NIC capacity is scaled by
+#:                       ``factor`` for ``duration`` seconds
+#: ``aggregator_crash``  every rank process is interrupted (job teardown);
+#:                       node-local state — page cache, cache files — survives
+FAULT_KINDS = (
+    "ssd_io_error",
+    "ssd_device_loss",
+    "server_stall",
+    "link_degrade",
+    "aggregator_crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault. Frozen + hashable: usable in sets and cache keys."""
+
+    kind: str
+    target: int = 0  # node id, or data-server index for server_stall
+    start: float = 0.0  # trigger time (clock-driven specs)
+    duration: float = 0.0  # window length; <= 0 means "until the end of time"
+    rate: float = 1.0  # per-I/O error probability (ssd_io_error)
+    factor: float = 1.0  # capacity multiplier (link_degrade)
+    on_event: str = ""  # workload event name; overrides `start` when set
+    delay: float = 0.0  # extra seconds after the event before triggering
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.target < 0:
+            raise ValueError(f"fault target must be >= 0, got {self.target}")
+        if self.start < 0 or self.delay < 0:
+            raise ValueError("fault start/delay must be >= 0")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.kind == "link_degrade" and not 0.0 < self.factor:
+            raise ValueError(f"link_degrade factor must be > 0, got {self.factor}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultSpec":
+        return cls(**dict(d))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """The full fault plan for one simulated job.
+
+    ``sync_rpc_timeout`` arms the PFS client's synchronous-RPC watchdog: a
+    ``write_sync`` round that exceeds it raises
+    :class:`~repro.faults.errors.PFSTimeoutError` into the caller (the sync
+    thread retries with backoff).  ``0`` leaves the watchdog off — the
+    pre-fault behaviour of waiting forever.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    sync_rpc_timeout: float = 0.0
+
+    def __post_init__(self):
+        # Tolerate lists from callers / JSON round-trips.
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if self.sync_rpc_timeout < 0:
+            raise ValueError("sync_rpc_timeout must be >= 0")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults) or self.sync_rpc_timeout > 0
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.kind == kind)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "faults": [f.to_dict() for f in self.faults],
+            "sync_rpc_timeout": self.sync_rpc_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultSchedule":
+        return cls(
+            faults=tuple(FaultSpec.from_dict(f) for f in d.get("faults", ())),
+            sync_rpc_timeout=float(d.get("sync_rpc_timeout", 0.0)),
+        )
+
+    @classmethod
+    def of(cls, *faults: FaultSpec, sync_rpc_timeout: float = 0.0) -> "FaultSchedule":
+        return cls(faults=tuple(faults), sync_rpc_timeout=sync_rpc_timeout)
+
+
+def schedule_from_dicts(
+    faults: Iterable[Mapping[str, Any]], sync_rpc_timeout: float = 0.0
+) -> FaultSchedule:
+    """Convenience for CLI/JSON callers."""
+    return FaultSchedule(
+        faults=tuple(FaultSpec.from_dict(f) for f in faults),
+        sync_rpc_timeout=sync_rpc_timeout,
+    )

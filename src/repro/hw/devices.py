@@ -37,6 +37,12 @@ class StorageDevice:
         self.bytes_read = 0
         self.requests_served = 0
         self.busy_time = 0.0
+        # Fault-injection hooks (set by repro.faults.FaultInjector when a
+        # schedule targets this device; a healthy run pays one None test).
+        self.injector = None
+        self.fault_node: Optional[int] = None
+        self.read_only = False  # device failed into its end-of-life RO mode
+        self.io_errors_injected = 0
 
     # subclass hooks -----------------------------------------------------------
     def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
@@ -53,6 +59,9 @@ class StorageDevice:
     def _io(self, offset: int, nbytes: int, is_write: bool):
         yield self.queue.request()
         try:
+            if self.injector is not None and not is_write:
+                # May raise TransientIOError; the finally still releases.
+                self.injector.on_device_read(self, offset, nbytes)
             dt = self.service_time(offset, nbytes, is_write)
             self.busy_time += dt
             self.requests_served += 1

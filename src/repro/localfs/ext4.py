@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults.errors import DeviceLostError
 from repro.hw.node import ComputeNode
 from repro.intervals import IntervalSet
 from repro.sim.core import SimError
@@ -74,6 +75,18 @@ class LocalFileSystem:
         self.used = 0
         self._files: dict[str, LocalFile] = {}
 
+    @property
+    def writable(self) -> bool:
+        """False once the backing SSD has failed read-only (EROFS): no new
+        data or namespace mutations, but existing blocks stay readable."""
+        return not self.node.ssd.read_only
+
+    def _check_writable(self) -> None:
+        if self.node.ssd.read_only:
+            raise DeviceLostError(
+                f"scratch device on node {self.node.node_id} is read-only (EROFS)"
+            )
+
     # -- namespace -------------------------------------------------------------
     def open(self, path: str, create: bool = True) -> LocalFile:
         f = self._files.get(path)
@@ -114,6 +127,7 @@ class LocalFileSystem:
         supported; otherwise the implementation 'physically writes zeros to
         the file' (paper, footnote 2).
         """
+        self._check_writable()
         grow = self._charge_range(f, offset, offset + nbytes)
         if grow == 0:
             return
@@ -142,6 +156,7 @@ class LocalFileSystem:
         """Generator: buffered write (page cache, dirty throttling)."""
         if nbytes < 0:
             raise SimError("negative write size")
+        self._check_writable()
         end = offset + nbytes
         self._charge_range(f, offset, end)
         if data is not None:

@@ -10,7 +10,12 @@ on top, then run rank bodies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import ClusterConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import CacheRecoveryRegistry
+from repro.faults.spec import FaultSchedule
 from repro.hw.node import ComputeNode
 from repro.localfs.ext4 import LocalFileSystem
 from repro.net.fabric import Fabric
@@ -22,7 +27,12 @@ from repro.sim.trace import Tracer
 
 
 class Machine:
-    def __init__(self, config: ClusterConfig, trace: bool = False):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: bool = False,
+        faults: Optional[FaultSchedule] = None,
+    ):
         self.config = config
         self.sim = Simulator()
         self.rng = RngStreams(config.seed)
@@ -39,6 +49,12 @@ class Machine:
         self.local_fs = [LocalFileSystem(node) for node in self.nodes]
         self.pfs = ParallelFileSystem(self.sim, config, self.fabric, self.rng)
         self._clients: dict[int, PFSClient] = {}
+        self.recovery = CacheRecoveryRegistry(self)
+        # Machine-wide robustness counters, rolled up by the sync threads and
+        # the ADIO degradation path (their owning objects are torn down with
+        # each file, so per-thread counters would be lost by run end).
+        self.cache_stats = {"retries": 0, "requeues": 0, "sync_failures": 0, "degraded": 0}
+        self.faults = FaultInjector(self, faults) if faults else None
 
     def pfs_client(self, rank: int) -> PFSClient:
         """The (lazily created, cached) PFS client for a rank."""

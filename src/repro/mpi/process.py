@@ -81,6 +81,10 @@ class MPIWorld:
             procs.append(
                 self.machine.sim.process(rank_body(ctx), name=f"rank{ctx.rank}")
             )
+        inj = getattr(self.machine, "faults", None)
+        if inj is not None:
+            # Crash faults interrupt exactly these processes.
+            inj.register_ranks(procs)
         return procs
 
     def run(self, rank_body: RankBody, until: Optional[float] = None) -> list[Any]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, SimError, Simulator
 
 _EPS = 1e-12
 
@@ -119,6 +119,22 @@ class Fabric:
     def transfer(self, src_node: int, dst_node: int, nbytes: float):
         """Process-style helper: ``yield from fabric.transfer(...)``."""
         yield self.start_flow(src_node, dst_node, nbytes)
+
+    def set_node_bw_factor(self, node: int, factor: float) -> None:
+        """Scale one endpoint's NIC capacity (both directions) by ``factor``.
+
+        Used by fault injection to model transient link degradation; active
+        flows are advanced to now and re-shared immediately, so in-flight
+        transfers slow down (or recover) mid-stream.
+        """
+        if factor <= 0:
+            raise SimError(f"bw factor must be > 0, got {factor}")
+        if not 0 <= node < self.num_nodes:
+            raise SimError(f"no such fabric endpoint {node}")
+        self._advance()
+        self._out[node].capacity = self.nic_bw * factor
+        self._in[node].capacity = self.nic_bw * factor
+        self._reschedule()
 
     @property
     def active_flows(self) -> int:

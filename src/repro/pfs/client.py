@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults.errors import PFSTimeoutError
 from repro.pfs.filesystem import ParallelFileSystem, PFSFile
 from repro.pfs.layout import StripeChunk
 from repro.sim.core import SimError
@@ -178,18 +179,48 @@ class PFSClient:
                 remaining_rpcs -= run_rpcs
                 self.rpcs += run_rpcs
                 yield self.sim.timeout(cfg.sync_client_rtt * run_rpcs)
-                yield self.pfs.fabric.start_flow(
-                    self.node_id,
-                    server.fabric_node,
-                    total,
-                    extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
-                )
-                yield from server.serve_write(run[0].target_offset, total, rpc_count=run_rpcs)
+                watchdog = self._sync_watchdog()
+                if watchdog is None:
+                    yield from self._sync_rpc(server, run[0].target_offset, total, run_rpcs)
+                else:
+                    # Race the RPC against the client-side watchdog.  On a
+                    # timeout the server op is abandoned, not cancelled —
+                    # whatever it persists is rewritten identically by the
+                    # caller's retry, so the data image stays consistent.
+                    op = self.sim.process(
+                        self._sync_rpc(server, run[0].target_offset, total, run_rpcs),
+                        name="sync-rpc",
+                    )
+                    winner = yield self.sim.any_of([op, self.sim.timeout(watchdog)])
+                    if winner is not op:
+                        raise PFSTimeoutError(
+                            f"sync write RPC to server {server.server_id} "
+                            f"exceeded the {watchdog:g}s client timeout"
+                        )
         finally:
             for s in stripes:
                 self.pfs.locks.release(f.file_id, s, exclusive=True)
         f.record_write(offset, nbytes, data)
         self.bytes_written += nbytes
+
+    def _sync_rpc(self, server, target_offset: int, total: int, run_rpcs: int):
+        """One blocking sync RPC: the transfer and the server's processing,
+        issued back to back (no pipelining on the synchronous path)."""
+        yield self.pfs.fabric.start_flow(
+            self.node_id,
+            server.fabric_node,
+            total,
+            extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+        )
+        yield from server.serve_write(target_offset, total, rpc_count=run_rpcs)
+
+    def _sync_watchdog(self) -> Optional[float]:
+        """Client-side RPC timeout for the sync path, when fault injection
+        configured one (``FaultSchedule.sync_rpc_timeout``); else None."""
+        inj = getattr(self.pfs, "injector", None)
+        if inj is not None and inj.sync_rpc_timeout > 0:
+            return inj.sync_rpc_timeout
+        return None
 
     # -- reads -----------------------------------------------------------------
     def read(self, f: PFSFile, offset: int, nbytes: int, locking: bool = False):

@@ -149,6 +149,7 @@ class DataServer:
             sim, self.target, cfg.server_cache_bytes, cfg.server_drain_chunk
         )
         self.rpcs_served = 0
+        self.injector = None  # set by repro.faults when a stall targets us
 
     def serve_write(self, target_offset: int, nbytes: int, rpc_count: int = 1):
         """Generator: process one write RPC — worker, overhead, cache absorb.
@@ -158,6 +159,10 @@ class DataServer:
         """
         yield self.workers.request()
         try:
+            if self.injector is not None:
+                # A stalled server parks the RPC while holding the worker:
+                # head-of-line blocking, exactly what a wedged daemon does.
+                yield from self.injector.server_gate(self.server_id)
             overhead = self.cfg.rpc_overhead * max(1, rpc_count)
             if self.rng is not None and self.cfg.jitter_sigma > 0:
                 overhead *= self.rng.lognormal_factor(
@@ -172,6 +177,8 @@ class DataServer:
     def serve_read(self, target_offset: int, nbytes: int):
         yield self.workers.request()
         try:
+            if self.injector is not None:
+                yield from self.injector.server_gate(self.server_id)
             yield self.sim.timeout(self.cfg.rpc_overhead)
             yield from self.target.read(target_offset, nbytes)
             self.rpcs_served += 1

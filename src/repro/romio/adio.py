@@ -70,14 +70,17 @@ class ADIODriver:
         if nbytes <= 0:
             return
         state = fd.cache_state(rank)
-        if state is not None:
+        if state is not None and not state.degraded:
             try:
                 yield from state.write_through_cache(offset, nbytes, data)
                 return
-            except OSError:
-                # ENOSPC on the scratch partition: revert to the direct path
-                # for this and subsequent extents.
-                fd.cache_states[rank] = None
+            except OSError as exc:
+                # ENOSPC on the scratch partition or a lost cache device:
+                # degrade — this and subsequent extents go directly to the
+                # global file, while extents already cached keep draining
+                # through the sync thread (dropping the state here would
+                # orphan their generalized requests and hang close).
+                state.degrade(str(exc))
         client = fd.machine.pfs_client(rank)
         yield from client.write(fd.pfs_file, offset, nbytes, data=data, locking=self.write_locking(fd))
 

@@ -87,6 +87,10 @@ class ADIOFile:
         self._call_index: dict[int, int] = {}  # rank -> next call number
         self.open_error: Optional[str] = None
         self.closed_ranks: set[int] = set()
+        # Tri-state crash-recovery snapshot: None until the first rank of the
+        # collective open checks the recovery registry; then a bool shared by
+        # every rank so the recovery barrier is symmetric.
+        self.recovery_needed: Optional[bool] = None
 
     def is_aggregator(self, rank: int) -> bool:
         return rank in self.agg_index

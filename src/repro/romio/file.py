@@ -87,6 +87,16 @@ class MPIIOLayer:
         if fd.pfs_file is None:  # pragma: no cover - bcast ordering guard
             raise SimError("collective open: file handle missing after bcast")
         yield from self.driver.open_cache(fd, rank)
+        recovery = getattr(self.machine, "recovery", None)
+        if fd.recovery_needed is None:
+            # First rank to arrive snapshots whether orphaned cache extents
+            # exist for this path; every rank then reuses the snapshot, so
+            # the recovery barrier below stays symmetric even though replay
+            # itself empties the registry.
+            fd.recovery_needed = recovery is not None and recovery.has_orphans(path)
+        if fd.recovery_needed:
+            yield from recovery.replay(fd, rank)
+            yield from self.comm.barrier(rank)
         prof.lap("open", t0)
         return MPIFileHandle(self, fd, rank)
 

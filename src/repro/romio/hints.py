@@ -98,6 +98,8 @@ class Hints:
             elif key == "e10_cache":
                 h.e10_cache = _choice(key, value, _CACHE_MODES)
             elif key == "e10_cache_path":
+                if not value.strip():
+                    raise HintError("hint e10_cache_path: must be a non-empty path")
                 h.e10_cache_path = value
             elif key == "e10_cache_flush_flag":
                 h.e10_cache_flush_flag = _choice(key, value, _FLUSH_FLAGS)
@@ -105,7 +107,31 @@ class Hints:
                 h.e10_cache_discard_flag = _choice(key, value, _ONOFF)
             else:
                 h.unknown[key] = value  # MPI says: ignore, but keep for inspection
-        return h
+        return h.validate()
+
+    def validate(self) -> "Hints":
+        """Cross-field sanity checks; returns self so calls chain.
+
+        ``from_info`` validates each hint as it parses, but hints objects are
+        also built directly by tests and experiment code — this catches
+        nonsense values regardless of how the object was constructed.
+        """
+        if self.cb_buffer_size <= 0:
+            raise HintError(
+                f"hint cb_buffer_size={self.cb_buffer_size}: must be positive"
+            )
+        if self.ind_wr_buffer_size <= 0:
+            raise HintError(
+                f"hint ind_wr_buffer_size={self.ind_wr_buffer_size}: must be positive"
+            )
+        if self.cb_nodes is not None and self.cb_nodes <= 0:
+            raise HintError(f"hint cb_nodes={self.cb_nodes}: must be positive")
+        if self.cache_enabled and not self.e10_cache_path.strip():
+            raise HintError(
+                "hint e10_cache_path: must be a non-empty path when e10_cache "
+                "is enabled"
+            )
+        return self
 
     def to_info(self) -> dict[str, str]:
         """Round-trip back to the string form (MPI_File_get_info)."""

@@ -5,12 +5,19 @@ tests and the experiment report use them to reconstruct what happened (which
 server served which RPC, when each sync chunk landed, ...).  Tracing is off
 by default — appending is a no-op unless enabled — so benchmark runs pay
 nothing for it.
+
+Long traced runs can bound memory with ``max_records``: the tracer keeps the
+*most recent* records (a ring buffer) and counts what it dropped.  The
+timeline exports to Chrome's ``chrome://tracing`` / Perfetto JSON format via
+:meth:`Tracer.to_chrome_trace` for visual inspection.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -22,12 +29,16 @@ class TraceRecord:
 
 
 class Tracer:
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = None):
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.records: deque[TraceRecord] = deque(maxlen=max_records)
+        self.dropped = 0
 
     def emit(self, time: float, component: str, event: str, **detail: Any) -> None:
         if self.enabled:
+            if self.max_records is not None and len(self.records) == self.max_records:
+                self.dropped += 1  # deque evicts the oldest on append
             self.records.append(TraceRecord(time, component, event, detail))
 
     def filter(self, component: str | None = None, event: str | None = None) -> Iterator[TraceRecord]:
@@ -40,3 +51,35 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
+
+    # -- export --------------------------------------------------------------
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Render as the Chrome Trace Event JSON object format.
+
+        Records become instant events (``ph: "i"``) with global scope; sim
+        time (seconds) maps to trace microseconds.  Load the output in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        events = [
+            {
+                "name": rec.event,
+                "cat": rec.component,
+                "ph": "i",
+                "s": "g",
+                "ts": rec.time * 1e6,
+                "pid": 0,
+                "tid": rec.component,
+                "args": rec.detail,
+            }
+            for rec in self.records
+        ]
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_records": self.dropped},
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, default=str)

@@ -82,6 +82,11 @@ def multi_phase_body(
                 else:  # pragma: no cover - recipe construction guards this
                     raise ValueError(f"unknown step kind {step.kind!r}")
             timing.write_time = ctx.now - t0
+            faults = getattr(ctx.machine, "faults", None)
+            if faults is not None:
+                # Milestone for event-triggered faults (e.g. an aggregator
+                # crash "just after writing file k").  First arrival fires.
+                faults.notify(f"write_done:{k}")
             timings.append(timing)
             if wrapper is not None:
                 t0 = ctx.now

@@ -1,0 +1,56 @@
+"""CachePolicy.from_hints over the full Table-II flag matrix."""
+
+import pytest
+
+from repro.cache.policy import CachePolicy
+from repro.romio.hints import HintError, Hints
+
+CACHE_MODES = ("enable", "disable", "coherent")
+FLUSH_FLAGS = ("flush_immediate", "flush_onclose", "flush_none")
+DISCARD_FLAGS = ("enable", "disable")
+
+
+class TestFlagMatrix:
+    @pytest.mark.parametrize("cache", CACHE_MODES)
+    @pytest.mark.parametrize("flush", FLUSH_FLAGS)
+    @pytest.mark.parametrize("discard", DISCARD_FLAGS)
+    def test_every_combination(self, cache, flush, discard):
+        hints = Hints.from_info(
+            {
+                "e10_cache": cache,
+                "e10_cache_flush_flag": flush,
+                "e10_cache_discard_flag": discard,
+            }
+        )
+        policy = CachePolicy.from_hints(hints)
+        assert policy.enabled == (cache in ("enable", "coherent"))
+        assert policy.coherent == (cache == "coherent")
+        assert policy.flush_mode == flush
+        assert policy.flush_immediate == (flush == "flush_immediate")
+        assert policy.flush_never == (flush == "flush_none")
+        assert policy.discard_on_close == (discard == "enable")
+
+    def test_paths_and_chunks_carried_over(self):
+        hints = Hints.from_info(
+            {
+                "e10_cache": "enable",
+                "e10_cache_path": "/nvme0",
+                "ind_wr_buffer_size": "128k",
+            }
+        )
+        policy = CachePolicy.from_hints(hints)
+        assert policy.cache_path == "/nvme0"
+        assert policy.sync_chunk == 128 * 1024
+
+    def test_retry_knobs_have_sane_defaults(self):
+        policy = CachePolicy.from_hints(Hints())
+        assert policy.sync_retry_limit >= 1
+        assert policy.sync_backoff_base > 0
+        assert policy.sync_backoff_factor > 1
+        assert policy.sync_requeue_limit >= 0
+
+    def test_from_hints_validates(self):
+        with pytest.raises(HintError):
+            CachePolicy.from_hints(Hints(ind_wr_buffer_size=0))
+        with pytest.raises(HintError):
+            CachePolicy.from_hints(Hints(e10_cache="enable", e10_cache_path=""))

@@ -1,0 +1,190 @@
+"""Fault injector behaviour: windows, retries, degradation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_testbed
+from repro.faults import FaultSchedule, FaultSpec, TransientIOError
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+from repro.romio.file import MPIIOLayer
+from repro.sim.core import SimError
+from repro.units import KiB
+from repro.workloads import ior_workload
+from tests.integration.test_end_to_end import expected_image
+
+CACHE_HINTS = {
+    "e10_cache": "enable",
+    "e10_cache_flush_flag": "flush_onclose",
+    "romio_cb_write": "enable",
+    "cb_nodes": "4",
+    "cb_buffer_size": "32k",
+    "ind_wr_buffer_size": "8k",
+}
+NOCACHE_HINTS = {k: v for k, v in CACHE_HINTS.items() if not k.startswith("e10")}
+
+
+def run_ior(schedule, hints=CACHE_HINTS, seed=11):
+    """One collective IOR file under a fault schedule; returns (machine, wl)."""
+    machine = Machine(small_testbed(), faults=schedule)
+    world = MPIWorld(machine)
+    layer = MPIIOLayer(machine, world.comm, driver="beegfs", exchange_mode="flow")
+    wl = ior_workload(8, block_bytes=8 * KiB, segments=2, with_data=True, seed=seed)
+
+    def body(ctx):
+        fh = yield from layer.open(ctx.rank, "/g/t", hints)
+        for step in wl.steps:
+            if step.kind == "collective":
+                yield from fh.write_all(step.access_fn(ctx.rank))
+            elif ctx.rank == 0:
+                yield from fh.write_at(step.offset, step.nbytes)
+        yield from fh.close()
+
+    world.run(body)
+    return machine, wl
+
+
+class TestSSDIOErrors:
+    def test_read_in_window_raises(self):
+        sched = FaultSchedule.of(
+            FaultSpec("ssd_io_error", target=0, start=0.0, duration=0.01, rate=1.0)
+        )
+        m = Machine(small_testbed(), faults=sched)
+        ssd = m.nodes[0].ssd
+
+        def body():
+            try:
+                yield from ssd.read(0, 1024)
+            except TransientIOError:
+                return "raised"
+            return "ok"
+
+        proc = m.sim.process(body())
+        assert m.sim.run(until=proc) == "raised"
+        assert ssd.io_errors_injected == 1
+
+    def test_read_after_window_succeeds(self):
+        sched = FaultSchedule.of(
+            FaultSpec("ssd_io_error", target=0, start=0.0, duration=0.01, rate=1.0)
+        )
+        m = Machine(small_testbed(), faults=sched)
+        ssd = m.nodes[0].ssd
+
+        def body():
+            yield m.sim.timeout(0.02)  # past the window
+            yield from ssd.read(0, 1024)
+            return "ok"
+
+        proc = m.sim.process(body())
+        assert m.sim.run(until=proc) == "ok"
+        assert ssd.io_errors_injected == 0
+
+    def test_untargeted_node_unaffected(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=0, rate=1.0))
+        m = Machine(small_testbed(), faults=sched)
+        ssd1 = m.nodes[1].ssd
+
+        def body():
+            yield from ssd1.read(0, 1024)
+            return "ok"
+
+        proc = m.sim.process(body())
+        assert m.sim.run(until=proc) == "ok"
+
+    def test_flaky_reads_retried_to_completion(self):
+        # Open-ended window, 30% error rate: the sync thread's retry loop
+        # rerolls each chunk until it gets through; the file must still be
+        # byte-identical to the access pattern.
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=0, rate=0.3))
+        machine, wl = run_ior(sched)
+        img = machine.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+
+    def test_deterministic_across_machines(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=0, rate=0.3))
+        m1, _ = run_ior(sched)
+        m2, _ = run_ior(sched)
+        assert m1.sim.now == m2.sim.now
+        assert m1.cache_stats == m2.cache_stats
+        assert m1.faults.injected == m2.faults.injected
+        assert np.array_equal(
+            m1.pfs.lookup("/g/t").data_image(), m2.pfs.lookup("/g/t").data_image()
+        )
+
+
+class TestDeviceLoss:
+    def test_loss_mid_run_degrades_but_completes(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_device_loss", target=0, start=5e-4))
+        machine, wl = run_ior(sched)
+        img = machine.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+        assert machine.cache_stats["degraded"] >= 1
+        assert machine.nodes[0].ssd.read_only
+
+    def test_loss_before_any_write_falls_back_entirely(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_device_loss", target=0, start=0.0))
+        machine, wl = run_ior(sched)
+        img = machine.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+
+
+class TestServerStall:
+    def test_stall_delays_direct_writes(self):
+        baseline, _ = run_ior(None, hints=NOCACHE_HINTS)
+        sched = FaultSchedule.of(
+            FaultSpec("server_stall", target=0, start=0.0, duration=0.02)
+        )
+        stalled, wl = run_ior(sched, hints=NOCACHE_HINTS)
+        assert stalled.sim.now > baseline.sim.now
+        assert stalled.faults.injected > 0
+        img = stalled.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+
+    def test_watchdog_converts_stall_to_retries(self):
+        sched = FaultSchedule.of(
+            FaultSpec("server_stall", target=0, start=0.0, duration=0.05),
+            sync_rpc_timeout=0.005,
+        )
+        machine, wl = run_ior(sched)
+        img = machine.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+        assert machine.cache_stats["retries"] > 0
+        assert machine.cache_stats["sync_failures"] == 0
+
+
+class TestLinkDegrade:
+    def test_degraded_link_slows_run(self):
+        baseline, _ = run_ior(None, hints=NOCACHE_HINTS)
+        sched = FaultSchedule.of(
+            FaultSpec("link_degrade", target=0, start=0.0, factor=0.05)
+        )
+        slow, wl = run_ior(sched, hints=NOCACHE_HINTS)
+        assert slow.sim.now > baseline.sim.now
+        img = slow.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+
+    def test_window_restores_capacity(self):
+        sched = FaultSchedule.of(
+            FaultSpec("link_degrade", target=0, start=0.0, duration=1e-3, factor=0.05)
+        )
+        machine, wl = run_ior(sched, hints=NOCACHE_HINTS)
+        # After the window the fabric is back at full NIC rate.
+        assert machine.fabric._out[0].capacity == machine.fabric.nic_bw
+        img = machine.pfs.lookup("/g/t").data_image()
+        assert np.array_equal(img, expected_image(wl, 8))
+
+
+class TestValidation:
+    def test_bad_node_target_rejected(self):
+        with pytest.raises(SimError, match="4 nodes"):
+            Machine(
+                small_testbed(),
+                faults=FaultSchedule.of(FaultSpec("ssd_io_error", target=99)),
+            )
+
+    def test_bad_server_target_rejected(self):
+        with pytest.raises(SimError, match="data servers"):
+            Machine(
+                small_testbed(),
+                faults=FaultSchedule.of(FaultSpec("server_stall", target=99)),
+            )

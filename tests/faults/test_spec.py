@@ -1,0 +1,80 @@
+"""FaultSpec / FaultSchedule construction, validation and round-tripping."""
+
+import pytest
+
+from repro.faults import FaultSchedule, FaultSpec, schedule_from_dicts
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("ssd_io_error")
+        assert spec.target == 0
+        assert spec.start == 0.0
+        assert spec.rate == 1.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray")
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"target": -1},
+            {"start": -0.5},
+            {"delay": -1e-9},
+            {"rate": -0.1},
+            {"rate": 1.5},
+        ],
+    )
+    def test_bad_values_rejected(self, kw):
+        with pytest.raises(ValueError):
+            FaultSpec("ssd_io_error", **kw)
+
+    def test_link_degrade_needs_positive_factor(self):
+        with pytest.raises(ValueError):
+            FaultSpec("link_degrade", factor=0.0)
+        FaultSpec("link_degrade", factor=0.25)  # fine
+
+    def test_round_trip(self):
+        spec = FaultSpec(
+            "server_stall", target=2, start=1.5, duration=0.25, on_event="write_done:1"
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultSchedule:
+    def test_empty_is_falsy(self):
+        assert not FaultSchedule()
+        assert FaultSchedule(sync_rpc_timeout=0.01)
+        assert FaultSchedule.of(FaultSpec("ssd_device_loss"))
+
+    def test_list_coerced_to_tuple(self):
+        sched = FaultSchedule(faults=[FaultSpec("ssd_io_error")])
+        assert isinstance(sched.faults, tuple)
+
+    def test_of_kind(self):
+        sched = FaultSchedule.of(
+            FaultSpec("ssd_io_error", target=0),
+            FaultSpec("ssd_io_error", target=1),
+            FaultSpec("server_stall"),
+        )
+        assert len(sched.of_kind("ssd_io_error")) == 2
+        assert len(sched.of_kind("aggregator_crash")) == 0
+
+    def test_round_trip(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="write_done:3", delay=0.001),
+            FaultSpec("link_degrade", target=1, duration=0.5, factor=0.1),
+            sync_rpc_timeout=0.02,
+        )
+        again = FaultSchedule.from_dict(sched.to_dict())
+        assert again == sched
+
+    def test_schedule_from_dicts(self):
+        sched = schedule_from_dicts(
+            [{"kind": "ssd_io_error", "target": 1, "rate": 0.5}],
+            sync_rpc_timeout=0.1,
+        )
+        assert sched.faults[0].kind == "ssd_io_error"
+        assert sched.faults[0].rate == 0.5
+        assert sched.sync_rpc_timeout == 0.1

@@ -1,0 +1,56 @@
+"""Hint validation: nonsense values must fail fast, however constructed."""
+
+import pytest
+
+from repro.romio.hints import HintError, Hints
+
+
+class TestParseTimeRejection:
+    @pytest.mark.parametrize("value", ["0", "-4096", "-1k"])
+    def test_nonpositive_ind_wr_buffer_size(self, value):
+        with pytest.raises(HintError, match="ind_wr_buffer_size"):
+            Hints.from_info({"ind_wr_buffer_size": value})
+
+    @pytest.mark.parametrize("value", ["0", "-16m"])
+    def test_nonpositive_cb_buffer_size(self, value):
+        with pytest.raises(HintError, match="cb_buffer_size"):
+            Hints.from_info({"cb_buffer_size": value})
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_empty_cache_path(self, value):
+        with pytest.raises(HintError, match="e10_cache_path"):
+            Hints.from_info({"e10_cache_path": value})
+
+
+class TestValidateMethod:
+    """Hints built directly (bypassing from_info) still get checked."""
+
+    def test_validate_returns_self_for_chaining(self):
+        h = Hints()
+        assert h.validate() is h
+
+    def test_direct_bad_cb_buffer_size(self):
+        h = Hints(cb_buffer_size=0)
+        with pytest.raises(HintError, match="cb_buffer_size"):
+            h.validate()
+
+    def test_direct_bad_ind_wr_buffer_size(self):
+        h = Hints(ind_wr_buffer_size=-1)
+        with pytest.raises(HintError, match="ind_wr_buffer_size"):
+            h.validate()
+
+    def test_direct_bad_cb_nodes(self):
+        h = Hints(cb_nodes=0)
+        with pytest.raises(HintError, match="cb_nodes"):
+            h.validate()
+
+    def test_blank_path_only_fatal_with_cache_enabled(self):
+        # Cache disabled: an unused blank path is tolerated.
+        Hints(e10_cache_path=" ").validate()
+        h = Hints(e10_cache="enable", e10_cache_path=" ")
+        with pytest.raises(HintError, match="e10_cache_path"):
+            h.validate()
+
+    def test_hint_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            Hints(cb_buffer_size=-1).validate()

@@ -1,0 +1,82 @@
+"""Tracer ring buffer, record cap, and Chrome-trace export."""
+
+import json
+
+from repro.sim.trace import Tracer
+
+
+class TestBasics:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer()
+        t.emit(0.1, "dev", "read", nbytes=4096)
+        assert len(t.records) == 0
+
+    def test_enabled_tracer_keeps_order(self):
+        t = Tracer(enabled=True)
+        t.emit(0.1, "dev", "read")
+        t.emit(0.2, "net", "flow")
+        assert [r.event for r in t.records] == ["read", "flow"]
+        assert t.dropped == 0
+
+    def test_filter_by_component_and_event(self):
+        t = Tracer(enabled=True)
+        t.emit(0.1, "dev", "read")
+        t.emit(0.2, "dev", "write")
+        t.emit(0.3, "net", "read")
+        assert len(list(t.filter(component="dev"))) == 2
+        assert len(list(t.filter(event="read"))) == 2
+        assert len(list(t.filter(component="net", event="read"))) == 1
+
+
+class TestMaxRecords:
+    def test_cap_keeps_most_recent(self):
+        t = Tracer(enabled=True, max_records=3)
+        for i in range(5):
+            t.emit(float(i), "c", f"e{i}")
+        assert [r.event for r in t.records] == ["e2", "e3", "e4"]
+        assert t.dropped == 2
+
+    def test_under_cap_drops_nothing(self):
+        t = Tracer(enabled=True, max_records=10)
+        t.emit(0.0, "c", "e")
+        assert t.dropped == 0
+        assert len(t.records) == 1
+
+    def test_clear_resets_dropped(self):
+        t = Tracer(enabled=True, max_records=1)
+        t.emit(0.0, "c", "a")
+        t.emit(0.1, "c", "b")
+        assert t.dropped == 1
+        t.clear()
+        assert t.dropped == 0
+        assert len(t.records) == 0
+
+
+class TestChromeExport:
+    def test_event_shape(self):
+        t = Tracer(enabled=True)
+        t.emit(0.5, "faults", "ssd_io_error", node=0, nbytes=8192)
+        doc = t.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["dropped_records"] == 0
+        (ev,) = doc["traceEvents"]
+        assert ev["name"] == "ssd_io_error"
+        assert ev["cat"] == "faults"
+        assert ev["ph"] == "i"
+        assert ev["ts"] == 0.5 * 1e6  # seconds -> microseconds
+        assert ev["args"] == {"node": 0, "nbytes": 8192}
+
+    def test_dropped_count_exported(self):
+        t = Tracer(enabled=True, max_records=1)
+        t.emit(0.0, "c", "a")
+        t.emit(0.1, "c", "b")
+        assert t.to_chrome_trace()["otherData"]["dropped_records"] == 1
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        t = Tracer(enabled=True)
+        t.emit(1.25, "sync", "chunk", offset=0, nbytes=65536)
+        out = tmp_path / "trace.json"
+        t.write_chrome_trace(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"][0]["name"] == "chunk"
+        assert doc["traceEvents"][0]["ts"] == 1.25e6

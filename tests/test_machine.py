@@ -53,7 +53,7 @@ class TestTracer:
     def test_disabled_by_default(self):
         m = Machine(small_testbed())
         m.tracer.emit(0.0, "x", "y", detail=1)
-        assert m.tracer.records == []
+        assert len(m.tracer.records) == 0
 
     def test_enabled_records_and_filters(self):
         m = Machine(small_testbed(), trace=True)
@@ -66,4 +66,4 @@ class TestTracer:
         only = list(m.tracer.filter(component="srv", event="write"))
         assert only[0].detail == {"nbytes": 10}
         m.tracer.clear()
-        assert m.tracer.records == []
+        assert len(m.tracer.records) == 0
