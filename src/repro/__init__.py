@@ -33,6 +33,10 @@ Quickstart::
         yield from fh.close()
 
     world.run(app)
+
+Paper correspondence: the package layers mirror the paper's structure —
+ROMIO extensions (§II–III) over a simulated DEEP-ER testbed (§IV); see
+ARCHITECTURE.md for the stack tour.
 """
 
 from repro.access import RankAccess

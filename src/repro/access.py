@@ -11,6 +11,9 @@ stay cheap.
 ``merge_extent_arrays`` computes the union coverage of many ranks' extents
 in one vectorised pass — used by the model-fidelity exchange to know which
 byte ranges an aggregator must write per round.
+
+Paper correspondence: these are the offset/length lists the extended
+two-phase algorithm exchanges in its first step (§II-A).
 """
 
 from __future__ import annotations

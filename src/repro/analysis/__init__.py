@@ -1,4 +1,8 @@
-"""Measurement analysis: the paper's bandwidth model and breakdowns."""
+"""Measurement analysis: the paper's bandwidth model and breakdowns.
+
+Paper correspondence: Eq. (2) perceived bandwidth and the phase
+breakdowns of the evaluation section (§IV).
+"""
 
 from repro.analysis.bandwidth import (
     BandwidthModel,

@@ -1,4 +1,8 @@
-"""Phase-contribution breakdowns (the paper's Figs. 5, 6, 8, 10)."""
+"""Phase-contribution breakdowns (the paper's Figs. 5, 6, 8, 10).
+
+Paper correspondence: §IV-B/§IV-D breakdown methodology (straggler view
+across ranks, per-phase stacking).
+"""
 
 from __future__ import annotations
 

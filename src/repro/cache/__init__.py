@@ -7,6 +7,9 @@ instead of the global file; a per-aggregator sync thread
 ``ind_wr_buffer_size`` chunks and writes them to the global file in the
 background, completing an MPI generalized request per extent.  Flush,
 discard and coherence policies follow the Table II hints.
+
+Paper correspondence: §III — the E10 cache design, its hints, and the
+background synchronisation machinery.
 """
 
 from repro.cache.cachefile import CacheOpenError, CacheState

@@ -10,6 +10,8 @@ Cache-file extents live at their *global-file offsets* (the local FS is
 sparse), so no extra layout metadata is needed to flush, and a later
 collective write to a different region of the same file reuses the same
 cache file naturally.
+
+Paper correspondence: §III-A cache-file management on the aggregators.
 """
 
 from __future__ import annotations

@@ -1,4 +1,7 @@
-"""Cache policy derived from the Table II hints."""
+"""Cache policy derived from the Table II hints.
+
+Paper correspondence: §III-A hint semantics, Table II configurations.
+"""
 
 from __future__ import annotations
 

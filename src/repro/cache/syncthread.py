@@ -19,6 +19,9 @@ to ``policy.sync_requeue_limit`` times before the grequest is failed with
 :class:`~repro.faults.errors.SyncFailedError`.  Progress is tracked
 per-chunk through ``cache_state.mark_synced`` so crash recovery replays
 only genuinely unflushed bytes.
+
+Paper correspondence: §III-A — the background flush that hides sync cost
+behind the next compute phase (Fig. 3).
 """
 
 from __future__ import annotations

@@ -1,4 +1,8 @@
-"""Experiment harness: sweep runner and figure/table regeneration."""
+"""Experiment harness: sweep runner and figure/table regeneration.
+
+Paper correspondence: the §IV evaluation harness (sweeps, figures,
+tables); not itself part of the paper's design.
+"""
 
 from repro.experiments.parallel import SweepError, SweepRunner, default_jobs
 from repro.experiments.resultcache import (

@@ -16,6 +16,9 @@ paper's bandwidth figures.  Results flow through the same
 :class:`~repro.experiments.parallel.SweepRunner` / result-cache machinery as
 the Table-II sweeps, so fault matrices are cached, deduplicated, and
 byte-identical between serial and ``--jobs N`` execution.
+
+Paper correspondence: none — an extension hardening the §III cache
+against injected faults (see DESIGN.md §9).
 """
 
 from __future__ import annotations

@@ -20,6 +20,9 @@ Figure map (paper → here):
 * Fig. 8  — Flash-IO breakdown, cache enabled            → :func:`fig8_flashio_breakdown`
 * Fig. 9  — IOR perceived bandwidth incl. last sync      → :func:`fig9_ior_bandwidth`
 * Fig. 10 — IOR breakdown, cache enabled                 → :func:`fig10_ior_breakdown`
+
+Paper correspondence: §IV — each generator regenerates one evaluation
+figure at a configurable scale.
 """
 
 from __future__ import annotations

@@ -24,6 +24,9 @@ Robustness model (CI is the main consumer):
 
 Only if a point fails *again* on the inline retry does the sweep raise
 :class:`SweepError`, carrying every failed spec.
+
+Paper correspondence: none (harness infrastructure); it fans the §IV
+measurement grid over worker processes.
 """
 
 from __future__ import annotations

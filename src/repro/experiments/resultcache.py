@@ -14,6 +14,9 @@ Records are single JSON files under ``.repro_cache/<key[:2]>/<key>.json``
 entirely with ``REPRO_CACHE=0``).  Writes are atomic (tmp file + rename) so
 concurrent sweep processes cannot corrupt each other; a corrupt or truncated
 record is treated as a miss, never as an error.
+
+Paper correspondence: none (harness infrastructure); it memoises §IV
+measurement points across runs.
 """
 
 from __future__ import annotations

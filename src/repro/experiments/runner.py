@@ -178,10 +178,18 @@ def resolve_config(
 
 
 def run_experiment(
-    spec: ExperimentSpec, config: Optional[ClusterConfig] = None
+    spec: ExperimentSpec,
+    config: Optional[ClusterConfig] = None,
+    profiler=None,
 ) -> ExperimentResult:
+    """Simulate one measurement point.
+
+    ``profiler`` (a :class:`~repro.sim.profile.SimProfiler`) attaches
+    engine instrumentation to the run — used by ``tools/profile_sweep.py``;
+    it does not change the simulation or its result.
+    """
     cfg = resolve_config(spec, config)
-    machine = Machine(cfg)
+    machine = Machine(cfg, profiler=profiler)
     world = MPIWorld(machine)
     layer = MPIIOLayer(machine, world.comm, driver="beegfs", exchange_mode="model")
     workload = build_workload(spec, cfg.num_ranks)

@@ -5,6 +5,9 @@ paper's discussion touches on: how much data moved over the fabric, how busy
 each storage tier was, lock contention, MDS load, and per-node SSD and
 memory-pressure figures.  The experiment harness attaches one of these to
 results on request, and the report module renders it.
+
+Paper correspondence: §IV diagnostics (utilisation next to the figures'
+bandwidth numbers).
 """
 
 from __future__ import annotations

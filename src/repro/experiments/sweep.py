@@ -25,6 +25,9 @@ every point's recovered/degraded output is byte-identical to its fault-free
 reference::
 
     python -m repro.experiments.sweep --faults --jobs 2 --no-cache
+
+Paper correspondence: drives the §IV sweeps (aggregators × buffer sizes
+× cache modes, plus the fault matrix).
 """
 
 from __future__ import annotations

@@ -4,6 +4,9 @@ See :mod:`repro.faults.spec` for declaring fault schedules,
 :mod:`repro.faults.injector` for how they are delivered, and
 :mod:`repro.faults.recovery` for the cache crash-recovery journals the
 paper's persistence argument rests on.
+
+Paper correspondence: none — this subsystem extends the reproduction
+beyond the paper, stress-testing the §III cache under failures.
 """
 
 from repro.faults.errors import (

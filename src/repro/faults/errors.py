@@ -5,6 +5,9 @@ so existing fallback paths that catch ``OSError`` — e.g. the ADIO driver's
 revert-to-direct-write on cache failure — handle them without modification,
 while the sync thread can narrowly catch :class:`FaultError` to drive its
 retry/backoff loop.
+
+Paper correspondence: none (fault-injection extension, see
+:mod:`repro.faults`).
 """
 
 from __future__ import annotations

@@ -25,6 +25,9 @@ calls a narrow hook, so a machine without faults pays one ``is None`` test):
   simulated ``mpirun`` teardown.  Node-local state — page cache, cache
   files, the recovery journals — survives, because the paper's recovery
   argument is precisely that a *process* crash does not lose SSD contents.
+
+Paper correspondence: none (fault-injection extension); targets the
+§II-B servers, §III cache devices, and §IV fabric.
 """
 
 from __future__ import annotations

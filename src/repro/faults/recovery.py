@@ -23,6 +23,9 @@ Replay is idempotent by construction: a sync request that was mid-flight at
 crash time may have persisted some chunks already, but rewriting the whole
 extent stores identical bytes, so the recovered global file is byte-identical
 to a fault-free run.
+
+Paper correspondence: none — recovery semantics the paper leaves open
+for its §III cache (journal + replay on next collective open).
 """
 
 from __future__ import annotations

@@ -11,6 +11,9 @@ emits named progress events (``write_done:<k>`` after the write phase of
 file ``k``), which makes crash points robust against calibration changes —
 "crash during the flush of the last file" stays meaningful no matter how
 long the write phase takes.
+
+Paper correspondence: none (fault-injection extension, see
+:mod:`repro.faults`).
 """
 
 from __future__ import annotations

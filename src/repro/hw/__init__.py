@@ -1,4 +1,8 @@
-"""Hardware models: storage devices and compute nodes."""
+"""Hardware models: storage devices and compute nodes.
+
+Paper correspondence: §IV-A testbed hardware (SSD scratch devices,
+RAID6 server targets, node RAM).
+"""
 
 from repro.hw.devices import HDDRaidDevice, SSDDevice, StorageDevice
 from repro.hw.node import ComputeNode

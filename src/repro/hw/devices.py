@@ -14,6 +14,9 @@ paper contrasts:
 
 * :class:`SSDDevice` — the node-local SATA SSD: constant per-request
   latency plus streaming time; no seek term, no jitter worth modelling.
+
+Paper correspondence: §IV-A device characteristics — the SATA SSD
+scratch partition and the servers' RAID6 SAS targets.
 """
 
 from __future__ import annotations

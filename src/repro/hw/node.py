@@ -8,6 +8,9 @@ push dirty bytes past ``dirty_ratio * ram`` blocks until writeback catches
 up, so sustained over-capacity writes degrade to device speed — and short
 checkpoint bursts (the paper's workloads) complete at near-memory speed,
 which is where the 10–20× aggregate cache bandwidth comes from.
+
+Paper correspondence: §IV-A node configuration (8 ranks/node, page
+cache, local SSD).
 """
 
 from __future__ import annotations

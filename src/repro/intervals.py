@@ -4,6 +4,9 @@ Used wherever the reproduction tracks byte coverage: which extents of a
 cache file hold dirty data, which parts of the global file have been
 persisted by the sync thread, and which holes remain.  Intervals are
 ``[start, end)`` pairs kept sorted and coalesced.
+
+Paper correspondence: substrate for the extent arithmetic of §II-A file
+domains and §III-B cached-extent tracking.
 """
 
 from __future__ import annotations

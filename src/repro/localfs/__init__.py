@@ -1,4 +1,8 @@
-"""Node-local ext4-like file system on the scratch SSD partition."""
+"""Node-local ext4-like file system on the scratch SSD partition.
+
+Paper correspondence: §IV-A — the ext4 ``/scratch`` partition the cache
+writes to.
+"""
 
 from repro.localfs.ext4 import LocalFile, LocalFileSystem
 

@@ -15,6 +15,10 @@ Models exactly what the E10 cache layer needs from ext4:
 Data contents are stored sparsely per file as ``(offset, ndarray)`` extents
 when real payloads are supplied, so tests can verify cache-file contents
 byte-for-byte; virtual (payload-free) writes only account sizes.
+
+Paper correspondence: §IV-A ``/scratch`` behaviour — page-cache
+absorption then device-speed writeback, as the cache layer (§III)
+experiences it.
 """
 
 from __future__ import annotations

@@ -6,6 +6,9 @@ with its SSD, page cache and local scratch FS) and the global parallel file
 system.  Experiments construct a Machine from a
 :class:`~repro.config.ClusterConfig`, then an :class:`~repro.mpi.MPIWorld`
 on top, then run rank bodies.
+
+Paper correspondence: §IV-A — the assembled DEEP-ER SDV testbed as one
+object.
 """
 
 from __future__ import annotations
@@ -18,10 +21,11 @@ from repro.faults.recovery import CacheRecoveryRegistry
 from repro.faults.spec import FaultSchedule
 from repro.hw.node import ComputeNode
 from repro.localfs.ext4 import LocalFileSystem
-from repro.net.fabric import Fabric
+from repro.net.fabric import create_fabric
 from repro.pfs.client import PFSClient
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.sim.core import Simulator
+from repro.sim.profile import SimProfiler
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 
@@ -32,13 +36,18 @@ class Machine:
         config: ClusterConfig,
         trace: bool = False,
         faults: Optional[FaultSchedule] = None,
+        profiler: Optional[SimProfiler] = None,
     ):
         self.config = config
         self.sim = Simulator()
+        self.sim.profiler = profiler
         self.rng = RngStreams(config.seed)
         self.tracer = Tracer(enabled=trace)
         endpoints = ParallelFileSystem.fabric_endpoints(config)
-        self.fabric = Fabric(
+        # Allocator selection (REPRO_FABRIC): the incremental max-min
+        # allocator by default, the naive full-recompute reference for A/B
+        # determinism checks — see docs/PERFORMANCE.md.
+        self.fabric = create_fabric(
             self.sim,
             num_nodes=endpoints,
             nic_bw=config.network.nic_bw,

@@ -5,6 +5,9 @@ The API mirrors the subset of MPI that ROMIO's collective write path uses:
 ``MPI_Bcast``, ``MPI_Barrier`` and generalized requests
 (``MPI_Grequest_start``/``MPI_Grequest_complete``) for the cache sync
 thread.  All calls are generator-based: ``result = yield from comm.recv(...)``.
+
+Paper correspondence: the MPI substrate under the §II-A algorithm —
+synchronisation and shuffle costs come from here.
 """
 
 from repro.mpi.comm import Communicator

@@ -16,6 +16,9 @@ Two interchangeable engines:
   validate that the model engine's results and orderings are faithful.
 
 Both return identical values; tests assert it.
+
+Paper correspondence: the collectives the §II-A algorithm leans on
+(alltoall dissemination, allreduce epilogue, barrier-style sync).
 """
 
 from __future__ import annotations

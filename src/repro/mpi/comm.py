@@ -4,6 +4,9 @@ A :class:`Communicator` binds the transport, a collective engine, and the
 rank-to-node map.  All blocking calls are generators (``yield from``); the
 nonblocking ones return :class:`~repro.mpi.request.Request` handles
 compatible with :func:`~repro.mpi.request.waitall`.
+
+Paper correspondence: MPI substrate (§II background); the per-rank
+endpoint the §II-A shuffle runs over.
 """
 
 from __future__ import annotations

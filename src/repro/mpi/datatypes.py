@@ -23,6 +23,9 @@ Example — the coll_perf block as MPI would describe it::
         starts=(0, 0, 0),
     )
     access = filetype.to_access(disp=0)
+
+Paper correspondence: the file views (§II background) that produce each
+benchmark's access pattern in §IV.
 """
 
 from __future__ import annotations

@@ -4,6 +4,9 @@
 executing ``rank_body(ctx)`` where :class:`MPIContext` exposes the rank id,
 the communicator, the owning compute node and convenience helpers.  The
 return value is the list of per-rank results, in rank order.
+
+Paper correspondence: stands in for the paper's 512-process MPI launch
+(§IV-A).
 """
 
 from __future__ import annotations

@@ -1,6 +1,15 @@
-"""Interconnect model: NIC-contended flows and rank-to-rank messaging."""
+"""Interconnect model: NIC-contended flows and rank-to-rank messaging (paper §IV testbed)."""
 
-from repro.net.fabric import Fabric, Flow, Link
+from repro.net.fabric import Fabric, Flow, Link, NaiveFabric, create_fabric
 from repro.net.message import Mailbox, Message, Transport
 
-__all__ = ["Fabric", "Flow", "Link", "Mailbox", "Message", "Transport"]
+__all__ = [
+    "Fabric",
+    "Flow",
+    "Link",
+    "Mailbox",
+    "Message",
+    "NaiveFabric",
+    "Transport",
+    "create_fabric",
+]

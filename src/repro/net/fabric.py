@@ -1,4 +1,4 @@
-"""Max-min fair flow-level network model.
+"""Max-min fair flow-level network model (paper §IV: the DEEP-ER fabric).
 
 The switch core is treated as non-blocking (valid for the DEEP-ER fat tree
 at 64 nodes), so the contended resources are each node's NIC injection and
@@ -12,16 +12,42 @@ funnelling into few aggregator NICs.
 
 Intra-node transfers bypass the NIC links and move at the (higher) memory
 copy bandwidth.
+
+Two allocators implement the same model (see docs/PERFORMANCE.md):
+
+* :class:`Fabric` (the default) recomputes **incrementally**: only the
+  connected component of the link–flow graph actually touched by an
+  arrival, departure, or capacity change is re-rated; flows whose
+  bottleneck structure is disjoint keep their frozen rates.  Same-timestamp
+  arrivals (a collective shuffle wave starts dozens of flows at ``sim.now``)
+  are coalesced into one recompute via a zero-delay flush event.
+* :class:`NaiveFabric` is the original full-recompute reference, selected
+  with ``REPRO_FABRIC=naive`` (see :func:`create_fabric`).  The two are
+  byte-identical — same rates, same completion timestamps — which
+  ``benchmarks/bench_engine.py`` asserts on the full IOR sweep grid and
+  ``tests/net/test_fabric_incremental.py`` asserts on randomized churn.
+
+Why the incremental result is *exactly* (bit-for-bit) the full result:
+progressive filling only ever moves capacity between a flow and the links
+that flow crosses, so two flows in different connected components of the
+bipartite link–flow graph never interact — neither through residuals nor
+through membership counts.  Within one component the filling order is
+fixed by iterating flows in ascending ``fid`` (creation order), which is
+precisely the order the full recompute visits them in, so every float
+operation — including tie-breaks between equal fair shares — is performed
+on the same operands in the same order.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+import os
+from typing import Iterable, Optional
 
 from repro.sim.core import Event, SimError, Simulator
 
 _EPS = 1e-12
+_INF = float("inf")
 
 
 class Link:
@@ -55,7 +81,25 @@ class Flow:
 
 
 class Fabric:
-    """The cluster interconnect: per-node NIC in/out links plus loopback."""
+    """The cluster interconnect: per-node NIC in/out links plus loopback.
+
+    This is the **incremental** allocator.  Rates live on the flows and stay
+    frozen until a change touches their connected component; the per-change
+    work is proportional to the touched component, not to the whole fabric.
+    Counters (always on — plain int bumps) feed the benchmark harness:
+
+    * ``recomputes`` / ``recompute_flows`` — filling passes run and flows
+      re-rated by them (the naive allocator re-rates every active flow on
+      every change).
+    * ``recomputes_skipped`` — changes proven unable to alter any share
+      (e.g. a capacity change on links with no flows).
+    * ``batched_starts`` — flow starts coalesced into an already-pending
+      same-timestamp flush instead of triggering their own recompute.
+    * ``wake_events`` — wake events actually armed (regression guard for
+      the alloc-on-every-change churn this class replaced).
+    """
+
+    kind = "incremental"
 
     def __init__(
         self,
@@ -77,7 +121,17 @@ class Fabric:
         self._fid = itertools.count()
         self._last_update = 0.0
         self._wake: Optional[Event] = None
+        # Links touched since the last recompute, in touch order, plus the
+        # zero-delay event that will apply them (identity-checked like the
+        # wake event so a superseded flush is a no-op).
+        self._dirty: dict[Link, None] = {}
+        self._flush_event: Optional[Event] = None
         self.bytes_moved = 0.0
+        self.recomputes = 0
+        self.recompute_flows = 0
+        self.recomputes_skipped = 0
+        self.batched_starts = 0
+        self.wake_events = 0
 
     # -- public API -----------------------------------------------------------
     def make_link(self, name: str, capacity: float) -> Link:
@@ -107,13 +161,12 @@ class Fabric:
         else:
             links = [self._out[src_node], self._in[dst_node]]
         links.extend(extra_links)
-        self._advance()
         flow = Flow(next(self._fid), links, nbytes, done)
         self._flows[flow] = None
         for link in links:
             link.flows[flow] = None
         self.bytes_moved += nbytes
-        self._reschedule()
+        self._change(links)
         return done
 
     def transfer(self, src_node: int, dst_node: int, nbytes: float):
@@ -131,10 +184,9 @@ class Fabric:
             raise SimError(f"bw factor must be > 0, got {factor}")
         if not 0 <= node < self.num_nodes:
             raise SimError(f"no such fabric endpoint {node}")
-        self._advance()
         self._out[node].capacity = self.nic_bw * factor
         self._in[node].capacity = self.nic_bw * factor
-        self._reschedule()
+        self._change((self._out[node], self._in[node]))
 
     @property
     def active_flows(self) -> int:
@@ -142,9 +194,49 @@ class Fabric:
 
     def flow_rates(self) -> dict[int, float]:
         """Current rate per flow id (after a fresh recompute) — for tests."""
+        self._force_flush()
         self._advance()
-        self._recompute()
+        self._fill(self._flows)
         return {f.fid: f.rate for f in self._flows}
+
+    # -- change application ------------------------------------------------------
+    def _change(self, links: Iterable[Link]) -> None:
+        """A topology change touched ``links``: coalesce into one flush.
+
+        All deferral stays within the current timestamp — the flush event
+        has zero delay, so it fires before the clock can advance — which is
+        why batching cannot alter any simulated timestamp: the rates in
+        effect over every interval of positive length are unchanged.
+        """
+        if self._flush_event is not None:
+            self.batched_starts += 1
+        for link in links:
+            self._dirty[link] = None
+        if self._flush_event is None:
+            flush = self.sim.event(name="fabric-flush")
+            flush.callbacks.append(self._on_flush)
+            flush.succeed()
+            self._flush_event = flush
+
+    def _on_flush(self, event: Event) -> None:
+        if event is not self._flush_event:
+            return  # superseded by an eager flush (flow_rates, wake)
+        self._flush_event = None
+        self._flush()
+
+    def _force_flush(self) -> None:
+        """Apply pending changes now; the armed flush event becomes a no-op."""
+        self._flush_event = None
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self._dirty:
+            return
+        self._advance()
+        dirty, self._dirty = self._dirty, {}
+        if self._recompute_touched(dirty):
+            self._arm_wake()
+        # else: no share could have changed, the armed wake (if any) stands.
 
     # -- internals --------------------------------------------------------------
     def _advance(self) -> None:
@@ -156,14 +248,51 @@ class Fabric:
                 flow.remaining -= flow.rate * dt
         self._last_update = now
 
-    def _recompute(self) -> None:
-        """Max-min fair allocation by progressive filling.
+    def _recompute_touched(self, dirty: dict[Link, None]) -> bool:
+        """Re-rate the connected component(s) of the touched links.
+
+        Returns False when the change provably cannot alter any share —
+        every touched link is flowless — in which case no filling runs and
+        the caller keeps the existing wake-up.
+        """
+        seeds = [link for link in dirty if link.flows]
+        if not seeds:
+            self.recomputes_skipped += 1
+            return False
+        touched: dict[Flow, None] = {}
+        seen = set(seeds)
+        stack = seeds
+        while stack:
+            link = stack.pop()
+            for flow in link.flows:
+                if flow not in touched:
+                    touched[flow] = None
+                    for other in flow.links:
+                        if other not in seen:
+                            seen.add(other)
+                            stack.append(other)
+        self.recomputes += 1
+        self.recompute_flows += len(touched)
+        # Refill in ascending-fid order — identical to the full recompute's
+        # visit order restricted to this component, so tie-breaks (and hence
+        # every float) match the naive allocator exactly.
+        profiler = self.sim.profiler
+        if profiler is None:
+            self._fill(sorted(touched, key=_by_fid))
+        else:
+            with profiler.timer("fabric.recompute"):
+                self._fill(sorted(touched, key=_by_fid))
+            profiler.count("fabric.recompute_flows", len(touched))
+        return True
+
+    def _fill(self, flows: Iterable[Flow]) -> None:
+        """Max-min fair allocation of ``flows`` by progressive filling.
 
         All iteration is over insertion-ordered dicts, so bottleneck
         tie-breaks (symmetric NICs produce many equal shares) resolve the
         same way in every process and the allocation is fully deterministic.
         """
-        unfrozen: dict[Flow, None] = dict.fromkeys(self._flows)
+        unfrozen: dict[Flow, None] = dict.fromkeys(flows)
         residual = {link: link.capacity for flow in unfrozen for link in flow.links}
         live = {
             link: dict.fromkeys(f for f in link.flows if f in unfrozen)
@@ -171,7 +300,7 @@ class Fabric:
         }
         while unfrozen:
             best_link = None
-            best_share = float("inf")
+            best_share = _INF
             for link, members in live.items():
                 if not members:
                     continue
@@ -194,25 +323,35 @@ class Fabric:
                         live[link].pop(flow, None)
             live[best_link].clear()
 
-    def _reschedule(self) -> None:
-        """Recompute rates and arm a wake-up at the next flow completion."""
-        self._recompute()
-        soonest = float("inf")
+    def _arm_wake(self) -> None:
+        """Arm a wake-up at the next flow completion.
+
+        When nothing can complete (``soonest == inf``) no event is armed at
+        all: any previously armed wake is invalidated by dropping the
+        reference (it fires, fails the identity check in :meth:`_on_wake`,
+        and is ignored), instead of allocating a replacement event per
+        change as the original implementation did.
+        """
+        soonest = _INF
         for flow in self._flows:
             if flow.remaining <= self._finish_threshold(flow):
                 soonest = 0.0
-            elif flow.rate > _EPS:
+                break
+            if flow.rate > _EPS:
                 t = flow.remaining / flow.rate
                 if t < soonest:
                     soonest = t
-        # Invalidate any previously armed wake-up (it checks identity below).
+        if soonest is _INF:
+            self._wake = None
+            return
+        # Invalidate any previously armed wake-up (identity check below).
         wake = self.sim.event(name="fabric-wake")
+        wake.callbacks.append(self._on_wake)
         self._wake = wake
-        if soonest is not float("inf"):
-            wake.callbacks.append(self._on_wake)
-            # Floor at one nanosecond so a pathological rate can never stall
-            # the simulation clock (livelock guard).
-            wake.succeed(delay=max(1e-9, soonest) if soonest > 0.0 else 0.0)
+        self.wake_events += 1
+        # Floor at one nanosecond so a pathological rate can never stall
+        # the simulation clock (livelock guard).
+        wake.succeed(delay=max(1e-9, soonest) if soonest > 0.0 else 0.0)
 
     @staticmethod
     def _finish_threshold(flow: Flow) -> float:
@@ -222,6 +361,7 @@ class Fabric:
     def _on_wake(self, event: Event) -> None:
         if event is not self._wake:
             return  # superseded by a newer reschedule
+        self._wake = None
         self._advance()
         finished = [f for f in self._flows if f.remaining <= self._finish_threshold(f)]
         for flow in finished:
@@ -231,7 +371,108 @@ class Fabric:
         for flow in finished:
             # Completion is delivered after the propagation latency.
             flow.done.succeed(delay=self.latency)
-        if self._flows:
-            self._reschedule()
+        self._departures(finished)
+
+    def _departures(self, finished: list[Flow]) -> None:
+        """Re-rate after completions, folding in any pending batched changes."""
+        if not self._flows:
+            self._dirty.clear()
+            return
+        for flow in finished:
+            for link in flow.links:
+                self._dirty[link] = None
+        dirty, self._dirty = self._dirty, {}
+        self._recompute_touched(dirty)
+        # The wake just fired (or is now stale), so always re-arm — even if
+        # the recompute was skipped, surviving flows still need a wake-up.
+        self._arm_wake()
+
+
+class NaiveFabric(Fabric):
+    """The original full-recompute allocator, kept as the reference.
+
+    Every arrival, departure, and capacity change advances the clock and
+    re-runs progressive filling over **all** active flows — O(links × flows)
+    per filling pass.  Selected with ``REPRO_FABRIC=naive``; the benchmark
+    harness runs it A/B against :class:`Fabric` to prove the incremental
+    allocator changes no simulated timestamp.
+    """
+
+    kind = "naive"
+
+    def _change(self, links: Iterable[Link]) -> None:
+        self._advance()
+        self._recompute()
+        self._arm_wake()
+
+    def _force_flush(self) -> None:  # nothing is ever deferred
+        pass
+
+    def _recompute(self) -> None:
+        self.recomputes += 1
+        self.recompute_flows += len(self._flows)
+        profiler = self.sim.profiler
+        if profiler is None:
+            self._fill(self._flows)
         else:
-            self._wake = None
+            with profiler.timer("fabric.recompute"):
+                self._fill(self._flows)
+            profiler.count("fabric.recompute_flows", len(self._flows))
+
+    def _departures(self, finished: list[Flow]) -> None:
+        if self._flows:
+            self._recompute()
+            self._arm_wake()
+
+    def _arm_wake(self) -> None:
+        # Faithful to the original: allocate a fresh wake event on *every*
+        # change, even when no flow can complete (soonest == inf) and the
+        # event will never be scheduled.  The default allocator's
+        # :meth:`Fabric._arm_wake` fixes this churn; the reference keeps it
+        # so the regression test can count the difference.
+        soonest = _INF
+        for flow in self._flows:
+            if flow.remaining <= self._finish_threshold(flow):
+                soonest = 0.0
+            elif flow.rate > _EPS:
+                t = flow.remaining / flow.rate
+                if t < soonest:
+                    soonest = t
+        wake = self.sim.event(name="fabric-wake")
+        self._wake = wake
+        self.wake_events += 1
+        if soonest is not _INF:
+            wake.callbacks.append(self._on_wake)
+            wake.succeed(delay=max(1e-9, soonest) if soonest > 0.0 else 0.0)
+
+
+def _by_fid(flow: Flow) -> int:
+    return flow.fid
+
+
+FABRIC_KINDS = {"incremental": Fabric, "naive": NaiveFabric}
+
+
+def default_fabric_kind() -> str:
+    """Allocator selection: ``REPRO_FABRIC`` env var, default incremental."""
+    return os.environ.get("REPRO_FABRIC", "incremental")
+
+
+def create_fabric(
+    sim: Simulator,
+    num_nodes: int,
+    nic_bw: float,
+    latency: float,
+    loopback_bw: Optional[float] = None,
+    kind: Optional[str] = None,
+) -> Fabric:
+    """Build the allocator named by ``kind`` (default: ``REPRO_FABRIC``)."""
+    kind = default_fabric_kind() if kind is None else kind
+    try:
+        cls = FABRIC_KINDS[kind]
+    except KeyError:
+        raise SimError(
+            f"unknown fabric allocator {kind!r} (expected one of "
+            f"{sorted(FABRIC_KINDS)})"
+        ) from None
+    return cls(sim, num_nodes, nic_bw, latency, loopback_bw)

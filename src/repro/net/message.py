@@ -8,6 +8,9 @@ support, in MPI's non-overtaking order (messages between the same pair with
 the same tag are matched in send order — guaranteed here because matching is
 FIFO over arrival order and flows between a fixed pair complete in start
 order under fair sharing of identical link sets).
+
+Paper correspondence: the transport under the §II-A shuffle and the
+§III sync traffic; contention is modelled by :mod:`repro.net.fabric`.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ with RAID targets and service jitter (:mod:`repro.pfs.server`), a metadata
 server (:mod:`repro.pfs.mds`), a stripe-granular extent lock manager
 (:mod:`repro.pfs.locks`), the client RPC fan-out (:mod:`repro.pfs.client`)
 and the facade tying them together (:mod:`repro.pfs.filesystem`).
+
+Paper correspondence: §II-B — BeeGFS on the DEEP-ER SDV (4 data
+servers, stripe 4 MB × 4).
 """
 
 from repro.pfs.filesystem import ParallelFileSystem, PFSFile

@@ -13,6 +13,9 @@ Two write paths mirror the two ways ROMIO drives the file system:
   RPC at a time, each paying the full client/kernel round trip
   (``sync_client_rtt``) on top of transfer and server time.  This is what
   limits a single flushing aggregator to ≈105 MB/s with 512 KiB chunks.
+
+Paper correspondence: §II-B client path; the sync thread (§III-A)
+flushes through exactly this endpoint.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ the lock manager, and keeps a per-file *verification image* (sparse extents
 plus a persisted-byte interval set) so tests can assert both content
 correctness and the MPI-IO visibility rules ("these bytes are not globally
 visible until the sync completed").
+
+Paper correspondence: §II-B — the global file system whose independent
+write inefficiency motivates the cache.
 """
 
 from __future__ import annotations

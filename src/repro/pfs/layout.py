@@ -5,6 +5,9 @@ over ``stripe_count`` targets (starting at ``first_target``).  These
 functions convert between file offsets and (target, target-local offset)
 and split arbitrary extents into their per-target pieces — the client's RPC
 fan-out and the lock manager's stripe indexing are both built on them.
+
+Paper correspondence: §II-B striping (stripe size 4 MB, count 4 in
+§IV-A).
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ stat, unlink).  Collective open in ROMIO has rank 0 create the file and
 broadcast the handle, so MDS load stays light; the model still serialises
 ops so a metadata storm (e.g. file-per-process workloads, which we support
 for comparison experiments) queues realistically.
+
+Paper correspondence: §II-B BeeGFS metadata service (opens, stats,
+stripe maps).
 """
 
 from __future__ import annotations

@@ -4,6 +4,9 @@ ROMIO reaches each file system through an ADIO driver; the paper's cache
 layer lives in the generic UFS driver and a BeeGFS driver adds
 stripe-aligned file domains (footnote 1).  Driver methods are generators
 run inside rank processes.
+
+Paper correspondence: §II background — ROMIO's ADIO layering, the seam
+the E10 cache (§III) hooks into.
 """
 
 from __future__ import annotations

@@ -12,6 +12,9 @@ File domains are contiguous byte ranges, one per aggregator.  The generic
 partitioner aligns domain boundaries to stripe boundaries to avoid stripe
 false sharing (footnote 1 of the paper: the BeeGFS ADIO driver developed in
 the course of that work does exactly this).
+
+Paper correspondence: §II-A — ``cb_nodes`` selection and file-domain
+partitioning, the knobs the §IV sweep varies.
 """
 
 from __future__ import annotations

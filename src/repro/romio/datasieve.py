@@ -8,6 +8,9 @@ whole window back — one large I/O instead of many tiny ones, at the cost of
 a read-modify-write and exclusive stripe locks over the window (POSIX
 semantics).  Windows whose extents fully cover them (or contain a single
 extent) skip the read.
+
+Paper correspondence: §III-B — independent writes against cached files,
+and the sieving fallback for sparse windows.
 """
 
 from __future__ import annotations

@@ -10,6 +10,9 @@ phase breakdown after the run.
 (every rank's access pattern, the file domains, the precomputed per-round
 costs).  Ranks proceed through collective calls in lock-step, so call *n*
 of every rank maps to the same state object.
+
+Paper correspondence: §II/§III — the shared descriptor carrying hints,
+file views, and per-file cache state.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ Unknown hints are ignored (per the MPI standard, implementations are free
 to ignore hints they do not understand); *known* hints with invalid values
 raise :class:`HintError`, which is stricter than ROMIO but catches
 experiment-configuration typos early.
+
+Paper correspondence: Table I (ROMIO hints) and §III-A (the E10
+extensions).
 """
 
 from __future__ import annotations

@@ -12,6 +12,9 @@ round's exchange; ``comm`` — ``MPI_Waitall`` over the data sends/receives;
 ``MPI_Allreduce`` after the last round; ``not_hidden_sync`` — cache
 synchronisation time not hidden behind compute, charged at close;
 ``open``/``close``/``other`` — the rest.
+
+Paper correspondence: §IV-B measurement methodology — the per-phase
+timers behind Figs. 5/6/8/10.
 """
 
 from __future__ import annotations

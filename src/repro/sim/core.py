@@ -1,4 +1,4 @@
-"""Event loop and generator-coroutine processes.
+"""Event loop and generator-coroutine processes (the substrate under §IV).
 
 The engine follows the classic event-list design: a binary heap of
 ``(time, sequence, event)`` entries.  Processes are generators; yielding an
@@ -10,6 +10,15 @@ whole ROMIO port is written.
 Determinism: two events scheduled for the same timestamp fire in scheduling
 order (the monotonically increasing sequence number breaks ties), so a run
 with a fixed RNG seed is exactly reproducible.
+
+Hot-path notes (measured by ``benchmarks/bench_engine.py``): the engine
+recycles its internal *kick* events — the bootstrap, re-kick, and interrupt
+events that exist only to resume a process — through a small free list
+instead of allocating one per resume, and :meth:`Simulator.step` fast-paths
+the overwhelmingly common single-waiter case.  An opt-in
+:class:`~repro.sim.profile.SimProfiler` attached as ``Simulator.profiler``
+counts events, heap pressure, and kick-pool reuse without costing anything
+when absent.
 """
 
 from __future__ import annotations
@@ -102,6 +111,25 @@ class Event:
         return f"<{type(self).__name__}{label} {state}>"
 
 
+class _Kick(Event):
+    """A pooled internal event whose only job is to resume one process.
+
+    Kicks fire exactly once, are referenced by nothing after firing (the
+    process's ``_target`` points at the *real* event, never the kick), and
+    carry no identity semantics — so :meth:`Simulator.step` can safely
+    recycle them through :attr:`Simulator._kick_pool`.
+    """
+
+    __slots__ = ()
+
+    def _reset(self, name: str) -> None:
+        self.name = name
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._fired = False
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay; created pre-triggered."""
 
@@ -135,8 +163,8 @@ class Process(Event):
         self.gen = gen
         self._target: Optional[Event] = None
         self._defunct = False
-        # Bootstrap: resume the generator at time now.
-        boot = Event(sim, name=f"init:{self.name}")
+        # Bootstrap: resume the generator at time now (pooled kick).
+        boot = sim._kick("init")
         boot.callbacks.append(self._resume)
         boot.succeed()
 
@@ -153,7 +181,7 @@ class Process(Event):
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._target = None
-        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick = self.sim._kick("interrupt")
         kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
         kick.succeed()
 
@@ -191,7 +219,7 @@ class Process(Event):
         if target._fired:
             # Already fired (e.g. a stored value event): resume immediately
             # via a zero-delay kick so we don't recurse unboundedly.
-            kick = Event(self.sim, name=f"rekick:{self.name}")
+            kick = self.sim._kick("rekick")
             kick._ok, kick._value = target._ok, target._value
             kick._triggered = True
             kick.callbacks.append(self._resume)
@@ -268,12 +296,20 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop.  One instance per simulated cluster run."""
 
+    # Kicks recycled beyond this depth are simply dropped; the pool only has
+    # to absorb the steady-state resume churn, not a worst-case burst.
+    _KICK_POOL_MAX = 256
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.active_process: Optional[Process] = None
         self._event_count = 0
+        self._kick_pool: list[_Kick] = []
+        # Opt-in engine instrumentation (see repro.sim.profile.SimProfiler);
+        # a plain attribute so attaching costs nothing when unused.
+        self.profiler = None
 
     # -- construction helpers ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -292,11 +328,24 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
+    def _kick(self, name: str) -> _Kick:
+        """A recycled internal resume event (see :class:`_Kick`)."""
+        pool = self._kick_pool
+        if pool:
+            kick = pool.pop()
+            kick._reset(name)
+            if self.profiler is not None:
+                self.profiler.count("sim.kick_reused")
+            return kick
+        return _Kick(self, name=name)
+
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if self.profiler is not None:
+            self.profiler.heap_sample(len(self._heap))
 
     def step(self) -> None:
         """Fire the single next event."""
@@ -306,13 +355,23 @@ class Simulator:
         self.now = when
         event._fired = True
         self._event_count += 1
-        callbacks, event.callbacks = event.callbacks, []
-        for cb in callbacks:
-            cb(event)
-        if not event._ok and not callbacks and not isinstance(event, Process):
-            raise event._value  # unhandled failure of a bare event
-        if isinstance(event, Process) and not event._ok and not callbacks:
-            raise event._value  # a crashed process nobody waited on
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            if len(callbacks) == 1:
+                # Fast path: almost every event has exactly one waiter (the
+                # process that yielded it), so skip the loop machinery.
+                callbacks[0](event)
+            else:
+                for cb in callbacks:
+                    cb(event)
+        elif not event._ok:
+            # Unhandled failure: a bare event or a crashed process nobody
+            # waited on — propagate instead of losing the error silently.
+            raise event._value
+        if type(event) is _Kick and len(self._kick_pool) < self._KICK_POOL_MAX:
+            event._value = None  # drop any payload reference
+            self._kick_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the event list drains, a deadline passes, or an event fires.

@@ -3,6 +3,9 @@
 :class:`Resource` is a counted FIFO server (device queues, lock slots);
 :class:`Store` is an unbounded FIFO mailbox used for message queues and the
 cache sync thread's work queue.
+
+Paper correspondence: none — queueing substrate under the §II-B server
+and §IV-A device models.
 """
 
 from __future__ import annotations

@@ -4,6 +4,9 @@ Every stochastic component (each I/O server's jitter, each device, the
 aggregator placement shuffle) draws from its own named stream derived from a
 single experiment seed, so adding a new consumer never perturbs existing
 ones and every run is exactly reproducible.
+
+Paper correspondence: none — determinism substrate (named streams keep
+§IV runs bit-reproducible across processes).
 """
 
 from __future__ import annotations

@@ -10,6 +10,9 @@ Long traced runs can bound memory with ``max_records``: the tracer keeps the
 *most recent* records (a ring buffer) and counts what it dropped.  The
 timeline exports to Chrome's ``chrome://tracing`` / Perfetto JSON format via
 :meth:`Tracer.to_chrome_trace` for visual inspection.
+
+Paper correspondence: none (diagnostics; pairs with
+:mod:`repro.sim.profile` for engine accounting).
 """
 
 from __future__ import annotations
@@ -54,12 +57,16 @@ class Tracer:
         self.dropped = 0
 
     # -- export --------------------------------------------------------------
-    def to_chrome_trace(self) -> dict[str, Any]:
+    def to_chrome_trace(self, profiler=None) -> dict[str, Any]:
         """Render as the Chrome Trace Event JSON object format.
 
         Records become instant events (``ph: "i"``) with global scope; sim
         time (seconds) maps to trace microseconds.  Load the output in
         ``chrome://tracing`` or https://ui.perfetto.dev.
+
+        Pass an attached :class:`~repro.sim.profile.SimProfiler` to merge
+        its counters and component timers into the same view (a
+        ``profiler`` track plus an ``otherData.profiler`` summary block).
         """
         events = [
             {
@@ -74,12 +81,16 @@ class Tracer:
             }
             for rec in self.records
         ]
+        other: dict[str, Any] = {"dropped_records": self.dropped}
+        if profiler is not None:
+            events.extend(profiler.to_chrome_trace_events())
+            other["profiler"] = profiler.snapshot()
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {"dropped_records": self.dropped},
+            "otherData": other,
         }
 
-    def write_chrome_trace(self, path: str) -> None:
+    def write_chrome_trace(self, path: str, profiler=None) -> None:
         with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh, default=str)
+            json.dump(self.to_chrome_trace(profiler=profiler), fh, default=str)

@@ -4,6 +4,9 @@ All sizes are plain ``int`` bytes and all times are ``float`` seconds; these
 constants keep configuration code readable (``4 * MiB`` instead of
 ``4194304``) and :func:`parse_size` accepts the human-readable strings used
 by MPI-IO hint values (e.g. ``"4m"``, ``"512k"``, ``"64MB"``).
+
+Paper correspondence: none (shared constants; the §IV grids are stated
+in these units).
 """
 
 from __future__ import annotations

@@ -1,4 +1,8 @@
-"""Workload step/recipe types shared by all three benchmarks."""
+"""Workload step/recipe types shared by all three benchmarks.
+
+Paper correspondence: §IV — the common shape of the three evaluated
+benchmarks.
+"""
 
 from __future__ import annotations
 

@@ -12,6 +12,8 @@ small HDF5 header/attribute region written by rank 0 per dataset.
 The two plot files (with and without corner data) store a subset of
 variables in single precision; the checkpoint dominates the I/O time, as in
 the paper.
+
+Paper correspondence: §IV-C — Flash-IO checkpoint writes (Figs. 7/8).
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ segment for 8 segments — a 32 GB shared file.  IOR issues one collective
 write per segment; within a segment the blocks are laid out in rank order:
 
     offset(rank, segment) = segment * (nprocs * block) + rank * block
+
+Paper correspondence: §IV-D — the IOR runs of Figs. 9/10 (8 MB
+transfers, segmented layout).
 """
 
 from __future__ import annotations

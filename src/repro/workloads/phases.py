@@ -11,6 +11,9 @@ phases.  Two workflows:
 
 The driver records per-rank, per-phase timings that feed Equations (1)/(2)
 (:mod:`repro.analysis.bandwidth`).
+
+Paper correspondence: Fig. 3 — the write/compute/write workflow whose
+overlap the cache exploits; drives every §IV measurement.
 """
 
 from __future__ import annotations

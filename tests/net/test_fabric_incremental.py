@@ -1,0 +1,243 @@
+"""Differential and regression tests for the incremental fabric allocator.
+
+The incremental allocator must be *byte-identical* to the naive
+full-recompute reference (``REPRO_FABRIC=naive``): same rates, same
+completion timestamps, under arrivals, departures, mid-transfer capacity
+changes, and randomized churn.  These tests drive both allocators through
+identical seeded schedules and compare.
+"""
+
+import random
+
+import pytest
+
+from repro.net.fabric import FABRIC_KINDS, Fabric, NaiveFabric, create_fabric
+from repro.sim.core import SimError, Simulator
+
+BW = 1000.0
+LAT = 0.0005
+NODES = 6
+
+
+def churn(fabric_cls, seed, steps=500):
+    """Drive one allocator through a seeded random schedule of flow churn.
+
+    Mixes flow starts (with occasional shared auxiliary links), capacity
+    changes mid-transfer, rate samples, and clock advances; returns
+    (completion times, sampled rate maps, final sim time).
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    fabric = fabric_cls(sim, num_nodes=NODES, nic_bw=BW, latency=LAT)
+    aux = [fabric.make_link(f"aux{i}", BW / 2) for i in range(2)]
+    completions: dict[int, float] = {}
+    samples: list[dict[int, float]] = []
+    started = 0
+    for _ in range(steps):
+        op = rng.random()
+        if op < 0.55:
+            src = rng.randrange(NODES)
+            dst = rng.randrange(NODES)
+            nbytes = rng.choice([1, 7, 100, 1000, 4096, 100000]) * rng.uniform(0.5, 1.5)
+            extra = (aux[rng.randrange(2)],) if rng.random() < 0.3 else ()
+            ev = fabric.start_flow(src, dst, nbytes, extra_links=extra)
+            idx = started
+            started += 1
+            ev.callbacks.append(lambda e, i=idx: completions.__setitem__(i, sim.now))
+        elif op < 0.70:
+            fabric.set_node_bw_factor(rng.randrange(NODES), rng.uniform(0.2, 1.5))
+        elif op < 0.80:
+            samples.append(fabric.flow_rates())
+        else:
+            sim.run(until=sim.now + rng.uniform(0.0, 0.5))
+    sim.run()
+    assert fabric.active_flows == 0
+    return completions, samples, sim.now
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_randomized_differential_naive_vs_incremental(seed):
+    inc_done, inc_rates, inc_end = churn(Fabric, seed)
+    ref_done, ref_rates, ref_end = churn(NaiveFabric, seed)
+    # Completion timestamps must match exactly (byte-identical clock).
+    assert inc_end == ref_end
+    assert inc_done == ref_done
+    # Sampled rate allocations agree to 1e-9 at every sample point.
+    assert len(inc_rates) == len(ref_rates)
+    for got, want in zip(inc_rates, ref_rates):
+        assert got.keys() == want.keys()
+        for fid in want:
+            assert got[fid] == pytest.approx(want[fid], rel=1e-9, abs=1e-9)
+
+
+def _run_both(scenario):
+    """Run a scenario against both allocators, return both observations."""
+    out = []
+    for cls in (Fabric, NaiveFabric):
+        sim = Simulator()
+        fabric = cls(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+        out.append(scenario(sim, fabric))
+    return out
+
+
+def test_simultaneous_same_timestamp_completions():
+    """Equal flows over the same route must finish at one identical instant."""
+
+    def scenario(sim, fabric):
+        times = {}
+        done = [fabric.start_flow(0, 1, 750) for _ in range(5)]
+        done.append(fabric.start_flow(2, 3, 750 * 5))  # disjoint, same finish
+        for i, ev in enumerate(done):
+            ev.callbacks.append(lambda e, i=i: times.__setitem__(i, sim.now))
+        sim.run()
+        assert fabric.active_flows == 0
+        return times
+
+    inc, ref = _run_both(scenario)
+    assert inc == ref
+    # 5 flows share node0.out at BW/5; the disjoint one moves 5x the bytes
+    # at full BW: all six land on the same timestamp.
+    assert len(set(inc.values())) == 1
+    assert inc[0] == pytest.approx(750 * 5 / BW + LAT)
+
+
+def test_set_node_bw_factor_mid_transfer():
+    """A capacity change halfway through re-rates in-flight flows exactly."""
+
+    def scenario(sim, fabric):
+        ev = fabric.start_flow(0, 1, 1000)
+        times = {}
+        ev.callbacks.append(lambda e: times.__setitem__("done", sim.now))
+        sim.run(until=0.5)  # 500 bytes moved at full BW
+        fabric.set_node_bw_factor(1, 0.25)  # receiver drops to BW/4
+        sim.run()
+        return times["done"]
+
+    inc, ref = _run_both(scenario)
+    assert inc == ref
+    # Remaining 500 bytes at 250 B/s -> 2 s more.
+    assert inc == pytest.approx(0.5 + 500 / (BW / 4) + LAT)
+
+
+def test_degrade_then_recover_mid_transfer():
+    def scenario(sim, fabric):
+        ev = fabric.start_flow(0, 1, 1000)
+        times = {}
+        ev.callbacks.append(lambda e: times.__setitem__("done", sim.now))
+        sim.run(until=0.25)
+        fabric.set_node_bw_factor(0, 0.5)
+        sim.run(until=0.75)
+        fabric.set_node_bw_factor(0, 1.0)
+        sim.run()
+        return times["done"]
+
+    inc, ref = _run_both(scenario)
+    assert inc == ref
+    # 250 bytes at BW, 250 at BW/2, remaining 500 at BW again.
+    assert inc == pytest.approx(0.25 + 0.5 + 0.5 + LAT)
+
+
+def test_coalesced_same_timestamp_starts_single_recompute():
+    """A burst of same-instant starts costs one filling pass, not N."""
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for _ in range(20):
+        fabric.start_flow(0, 1, 500)
+    sim.run()
+    assert fabric.active_flows == 0
+    assert fabric.batched_starts == 19  # 19 starts joined the pending flush
+    # One coalesced recompute for the burst, then one per completion wave;
+    # all 20 finish together, so that second wave is also a single event.
+    assert fabric.recomputes <= 2
+
+    ref_sim = Simulator()
+    ref = NaiveFabric(ref_sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for _ in range(20):
+        ref.start_flow(0, 1, 500)
+    ref_sim.run()
+    # One recompute per start; the completion wave empties the fabric, so
+    # the naive departure path (which only re-rates survivors) adds none.
+    assert ref.recomputes == 20
+    assert ref_sim.now == sim.now
+
+
+def test_disjoint_components_skip_recompute():
+    """Changes in one component never re-rate flows of another."""
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    fabric.start_flow(0, 1, 10_000)
+    sim.run(until=0.001)
+    fabric.start_flow(2, 3, 100)  # disjoint component
+    sim.run(until=0.002)
+    # Each recompute touched exactly its own single-flow component.
+    assert fabric.recomputes == 2
+    assert fabric.recompute_flows == 2
+    sim.run()
+    # The short flow's departure left its links empty: provably no share
+    # can change, so the departure recompute is skipped outright.
+    assert fabric.recomputes_skipped >= 1
+    assert fabric.active_flows == 0
+
+
+def test_wake_event_churn_regression():
+    """The fixed allocator arms no wake when nothing can complete.
+
+    The naive reference preserves the original behaviour — a fresh wake
+    event allocated on *every* change — so the counters document exactly
+    the churn the fix removes.
+    """
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    dead = fabric.make_link("dead", 1e-15)  # share below _EPS: never completes
+    for _ in range(10):
+        fabric.start_flow(0, 1, 100, extra_links=(dead,))
+    sim.run()
+    assert fabric.wake_events == 0  # soonest == inf: nothing armed
+
+    ref_sim = Simulator()
+    ref = NaiveFabric(ref_sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    dead = ref.make_link("dead", 1e-15)
+    for _ in range(10):
+        ref.start_flow(0, 1, 100, extra_links=(dead,))
+    ref_sim.run()
+    assert ref.wake_events == 10  # one allocation per change, all useless
+
+
+def test_wake_events_far_fewer_under_batching():
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for i in range(30):
+        fabric.start_flow(i % 4, (i + 1) % 4, 400)
+    sim.run()
+    ref_sim = Simulator()
+    ref = NaiveFabric(ref_sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for i in range(30):
+        ref.start_flow(i % 4, (i + 1) % 4, 400)
+    ref_sim.run()
+    assert ref_sim.now == sim.now
+    assert fabric.wake_events < ref.wake_events
+
+
+def test_create_fabric_kind_selection(monkeypatch):
+    sim = Simulator()
+    assert type(create_fabric(sim, 2, BW, LAT, kind="naive")) is NaiveFabric
+    assert type(create_fabric(sim, 2, BW, LAT, kind="incremental")) is Fabric
+    monkeypatch.setenv("REPRO_FABRIC", "naive")
+    assert type(create_fabric(sim, 2, BW, LAT)) is NaiveFabric
+    monkeypatch.delenv("REPRO_FABRIC")
+    assert type(create_fabric(sim, 2, BW, LAT)) is Fabric
+    with pytest.raises(SimError):
+        create_fabric(sim, 2, BW, LAT, kind="bogus")
+    assert set(FABRIC_KINDS) == {"incremental", "naive"}
+
+
+def test_flow_rates_flushes_pending_batch():
+    """Rates queried in the same instant as a start must include it."""
+    sim = Simulator()
+    fabric = Fabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    fabric.start_flow(0, 1, 500)
+    fabric.start_flow(0, 2, 500)
+    rates = fabric.flow_rates()  # before the coalescing flush event fired
+    assert rates == {0: pytest.approx(BW / 2), 1: pytest.approx(BW / 2)}
+    sim.run()
+    assert fabric.active_flows == 0

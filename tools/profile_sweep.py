@@ -1,0 +1,134 @@
+"""Profile a sweep point: where does the simulator spend its wall-clock?
+
+Runs one measurement point (default: the most fabric-heavy IOR point,
+``64_4M`` with the NVM cache enabled) with a
+:class:`~repro.sim.profile.SimProfiler` attached and prints the engine's
+own accounting — event counts, fabric recompute totals, per-component
+wall-clock timers, peak event-heap depth.  Optionally layers Python-level
+``cProfile`` on top and exports a Chrome-trace JSON (profiler counters
+merged into the :class:`~repro.sim.trace.Tracer` timeline) for
+``chrome://tracing`` / https://ui.perfetto.dev.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sweep.py
+    PYTHONPATH=src python tools/profile_sweep.py --benchmark ior \\
+        --aggregators 8 --cb-mib 4 --cache-mode disabled --scale 0.01
+    PYTHONPATH=src python tools/profile_sweep.py --cprofile 25
+    PYTHONPATH=src python tools/profile_sweep.py --trace point.trace.json
+    PYTHONPATH=src python tools/profile_sweep.py --fabric naive --json prof.json
+
+Compare ``--fabric naive`` against the default incremental allocator to see
+the recompute work the fast path removes (docs/PERFORMANCE.md walks through
+a session).  The profiler never changes simulation results — only observes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import pstats
+import sys
+import time
+
+from repro.experiments.runner import BENCHMARKS, CACHE_MODES, ExperimentSpec
+from repro.net.fabric import FABRIC_KINDS
+from repro.sim.profile import SimProfiler
+from repro.units import MiB
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python tools/profile_sweep.py",
+        description="Profile one sweep measurement point.",
+    )
+    p.add_argument("--benchmark", default="ior", choices=BENCHMARKS)
+    p.add_argument("--aggregators", type=int, default=64)
+    p.add_argument("--cb-mib", type=int, default=4, help="collective buffer (MiB)")
+    p.add_argument("--cache-mode", default="enabled", choices=CACHE_MODES)
+    p.add_argument("--scale", type=float, default=0.03125)
+    p.add_argument(
+        "--fabric",
+        default="incremental",
+        choices=sorted(FABRIC_KINDS),
+        help="allocator under profile (sets REPRO_FABRIC for the run)",
+    )
+    p.add_argument(
+        "--cprofile",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run under cProfile and print the top N rows by tottime",
+    )
+    p.add_argument("--trace", default=None, metavar="PATH", help="write a Chrome trace")
+    p.add_argument(
+        "--json", default=None, metavar="PATH", help="write the summary JSON"
+    )
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = ExperimentSpec(
+        benchmark=args.benchmark,
+        aggregators=args.aggregators,
+        cb_buffer=args.cb_mib * MiB,
+        cache_mode=args.cache_mode,
+        scale=args.scale,
+    )
+    profiler = SimProfiler()
+    os.environ["REPRO_FABRIC"] = args.fabric
+    try:
+        # Import after REPRO_FABRIC is set, mirroring how sweep workers
+        # inherit the environment; the kind is read per-Machine anyway.
+        from repro.experiments.runner import run_experiment
+
+        prof = cProfile.Profile() if args.cprofile else None
+        t0 = time.perf_counter()
+        if prof is not None:
+            prof.enable()
+        result = run_experiment(spec, profiler=profiler)
+        if prof is not None:
+            prof.disable()
+        wall = time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_FABRIC", None)
+
+    summary = {
+        "spec": {
+            "benchmark": spec.benchmark,
+            "label": spec.label,
+            "cache_mode": spec.cache_mode,
+            "scale": spec.scale,
+            "fabric": args.fabric,
+        },
+        "wall_s": wall,
+        "events_fired": result.events,
+        "events_per_sec": result.events / wall if wall else 0.0,
+        "bw_gib_s": result.bw / (1 << 30),
+        "profiler": profiler.snapshot(),
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.trace:
+        # The run's Tracer was off (benchmarks pay nothing for tracing), so
+        # the export carries the profiler counters; pass --trace together
+        # with a traced Machine run to overlay a full timeline.
+        from repro.sim.trace import Tracer
+
+        Tracer(enabled=False).write_chrome_trace(args.trace, profiler=profiler)
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if prof is not None:
+        stats = pstats.Stats(prof, stream=sys.stderr).sort_stats("tottime")
+        stats.print_stats(args.cprofile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
