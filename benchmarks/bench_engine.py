@@ -18,6 +18,15 @@ reference) and writes a machine-readable report to ``BENCH_engine.json``:
    allocators legitimately schedule in different numbers; every *simulated*
    quantity — timestamps, bandwidths, breakdowns, bytes — must match).
 
+3. **Dataplane A/B** — the same grid run under ``REPRO_DATAPLANE=bulk``
+   (the batched device I/O + coalesced flow fast path) and
+   ``REPRO_DATAPLANE=chunked`` (the per-chunk reference), written to a
+   separate ``BENCH_dataplane.json``.  Byte-identity (excluding ``events``)
+   and the >=2x events reduction are enforced in every mode; the >=1.5x
+   wall speedup only under ``--full``; ``--quick`` additionally enforces an
+   absolute event-count ceiling on the bulk grid so CI catches event-count
+   regressions.
+
 The exit status is non-zero on any A/B divergence, so CI's ``bench-smoke``
 job (``--quick``) doubles as a determinism gate.  ``--full`` runs the whole
 36-point grid and additionally enforces the >=3x microbenchmark speedup
@@ -53,6 +62,13 @@ RECORDED_BASELINES = {
 }
 
 BENCH_SCALE = 0.03125
+
+# Quick-grid bulk-dataplane event budget: 295,020 measured at the PR that
+# introduced the fast path, plus ~15% headroom.  CI's bench-smoke fails when
+# the bulk path starts firing more events than this — the regression the
+# fast path exists to prevent.  (The chunked reference fires ~2.18M on the
+# same grid.)
+QUICK_BULK_EVENTS_CEILING = 340_000
 
 
 def fabric_microbench(kind: str, nodes=64, aggs=8, waves=30, ranks=512):
@@ -97,35 +113,36 @@ def comparable_dict(result) -> dict:
     return d
 
 
-def run_point(kind: str, spec):
-    """One timed point under one allocator.  No profiler: timing must not skew."""
-    os.environ["REPRO_FABRIC"] = kind
+def run_point(spec, env_var: str, kind: str):
+    """One timed point under one ``env_var`` setting.  No profiler: timing
+    must not skew."""
+    os.environ[env_var] = kind
     try:
         t0 = time.perf_counter()
         result = run_experiment(spec)
         return result, time.perf_counter() - t0
     finally:
-        os.environ.pop("REPRO_FABRIC", None)
+        os.environ.pop(env_var, None)
 
 
-def run_grid_interleaved(specs):
-    """Time both allocators point by point, alternating which goes first.
+def run_grid_interleaved(specs, env_var: str, kinds: tuple[str, str]):
+    """Time both ``kinds`` point by point, alternating which goes first.
 
     The two timings of a point land adjacent in wall-clock time (and the
     first-runner advantage, if any, alternates), so machine noise — which
     on a shared CI runner easily exceeds the end-to-end delta — hits both
-    allocators equally instead of whichever grid happened to run second.
+    variants equally instead of whichever grid happened to run second.
     """
-    results = {"naive": [], "incremental": []}
-    walls = {"naive": 0.0, "incremental": 0.0}
+    results = {k: [] for k in kinds}
+    walls = dict.fromkeys(kinds, 0.0)
     for i, spec in enumerate(specs):
-        order = ("naive", "incremental") if i % 2 == 0 else ("incremental", "naive")
+        order = kinds if i % 2 == 0 else kinds[::-1]
         for kind in order:
-            result, wall = run_point(kind, spec)
+            result, wall = run_point(spec, env_var, kind)
             results[kind].append(result)
             walls[kind] += wall
     stats = {}
-    for kind in ("naive", "incremental"):
+    for kind in kinds:
         events = sum(r.events for r in results[kind])
         stats[kind] = {
             "kind": kind,
@@ -166,6 +183,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default="BENCH_engine.json", help="report path (default: %(default)s)"
     )
+    parser.add_argument(
+        "--out-dataplane",
+        default="BENCH_dataplane.json",
+        help="dataplane A/B report path (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     quick = args.quick or not args.full
 
@@ -198,7 +220,9 @@ def main(argv=None) -> int:
 
     specs = grid_specs(quick)
     print(f"grid A/B: {len(specs)} IOR points x 2 allocators ...", flush=True)
-    grid_results, grid_stats = run_grid_interleaved(specs)
+    grid_results, grid_stats = run_grid_interleaved(
+        specs, "REPRO_FABRIC", ("naive", "incremental")
+    )
     naive_results, naive_stats = grid_results["naive"], grid_stats["naive"]
     inc_results, inc_stats = grid_results["incremental"], grid_stats["incremental"]
     mismatches = [
@@ -237,6 +261,66 @@ def main(argv=None) -> int:
         f"identical={not mismatches}",
         flush=True,
     )
+
+    # Dataplane A/B: the bulk-transfer fast path against the per-chunk
+    # reference (REPRO_DATAPLANE), same grid, default allocator.  Same
+    # contract as the fabric A/B — every simulated quantity byte-identical,
+    # only the diagnostic event count may (must, here) drop.
+    print(f"dataplane A/B: {len(specs)} IOR points x 2 dataplanes ...", flush=True)
+    dp_failures = []
+    dp_results, dp_stats = run_grid_interleaved(
+        specs, "REPRO_DATAPLANE", ("chunked", "bulk")
+    )
+    chunked_stats, bulk_stats = dp_stats["chunked"], dp_stats["bulk"]
+    dp_mismatches = [
+        spec.label + "/" + spec.cache_mode
+        for spec, a, b in zip(specs, dp_results["chunked"], dp_results["bulk"])
+        if comparable_dict(a) != comparable_dict(b)
+    ]
+    if dp_mismatches:
+        dp_failures.append(f"dataplane A/B diverged at: {', '.join(dp_mismatches)}")
+    dp_speedup = chunked_stats["wall_s"] / bulk_stats["wall_s"]
+    events_reduction = (
+        chunked_stats["events_fired"] / bulk_stats["events_fired"]
+        if bulk_stats["events_fired"]
+        else 0.0
+    )
+    if events_reduction < 2.0:
+        dp_failures.append(
+            f"dataplane events reduction {events_reduction:.2f}x < 2x target"
+        )
+    if not quick and dp_speedup < 1.5:
+        dp_failures.append(f"dataplane wall speedup {dp_speedup:.2f}x < 1.5x target")
+    if quick and bulk_stats["events_fired"] > QUICK_BULK_EVENTS_CEILING:
+        dp_failures.append(
+            f"quick-grid bulk events {bulk_stats['events_fired']} > "
+            f"ceiling {QUICK_BULK_EVENTS_CEILING}"
+        )
+    dataplane_report = {
+        "scale": BENCH_SCALE,
+        "mode": "quick" if quick else "full",
+        "grid_ab": {
+            "chunked": chunked_stats,
+            "bulk": bulk_stats,
+            "speedup_vs_chunked": dp_speedup,
+            "events_reduction_vs_chunked": events_reduction,
+            "byte_identical_excluding_events": not dp_mismatches,
+            "compared_fields": sorted(comparable_dict(dp_results["bulk"][0])),
+        },
+        "quick_bulk_events_ceiling": QUICK_BULK_EVENTS_CEILING,
+        "ok": not dp_failures,
+        "failures": dp_failures,
+    }
+    with open(args.out_dataplane, "w") as fh:
+        json.dump(dataplane_report, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out_dataplane}")
+    print(
+        f"  chunked {chunked_stats['wall_s']:.1f}s vs bulk "
+        f"{bulk_stats['wall_s']:.1f}s -> {dp_speedup:.2f}x wall, "
+        f"{events_reduction:.2f}x fewer events, identical={not dp_mismatches}",
+        flush=True,
+    )
+    failures.extend(dp_failures)
 
     report["ok"] = not failures
     report["failures"] = failures

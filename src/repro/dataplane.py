@@ -1,0 +1,38 @@
+"""Data-plane fidelity selection (``REPRO_DATAPLANE``).
+
+Two byte-identical execution strategies for the simulated I/O data plane
+(see docs/PERFORMANCE.md, "Bulk-transfer fast path"):
+
+* ``bulk`` (the default) — device operations whose duration is fully
+  determined at issue time are charged as a single timeout instead of a
+  queue-grant/timeout round trip, collective releases share one event
+  instead of one per rank, the sync thread's flush loop runs without the
+  per-chunk retry scaffolding, and same-instant same-endpoint stripe-run
+  flows are coalesced into weighted fabric flows.
+* ``chunked`` — the reference path: every grant, release and chunk is its
+  own kernel event.  Kept selectable for differential testing; it is also
+  forced machine-wide whenever a :class:`~repro.faults.spec.FaultSchedule`
+  is present, so retry/backoff/requeue semantics (and the recorded fault
+  event counts) are untouched by the fast path.
+
+Every simulated quantity — timestamps, bandwidths, breakdowns, bytes —
+must be identical between the two; only the diagnostic ``events`` count
+may differ.  ``benchmarks/bench_engine.py`` asserts this on the IOR grid
+(``BENCH_dataplane.json``).
+"""
+
+from __future__ import annotations
+
+import os
+
+DATAPLANE_KINDS = ("bulk", "chunked")
+
+
+def default_dataplane_kind() -> str:
+    """Data-plane selection: ``REPRO_DATAPLANE`` env var, default bulk."""
+    kind = os.environ.get("REPRO_DATAPLANE", "bulk")
+    if kind not in DATAPLANE_KINDS:
+        raise ValueError(
+            f"unknown REPRO_DATAPLANE {kind!r} (expected one of {DATAPLANE_KINDS})"
+        )
+    return kind

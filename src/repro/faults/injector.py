@@ -67,6 +67,19 @@ class FaultInjector:
         self._ssd_read: dict[int, list[_FaultState]] = {}
         self._stalls: dict[int, list[_FaultState]] = {}
         self._by_event: dict[str, list[_FaultState]] = {}
+        # A fault schedule disables the bulk data plane machine-wide (the
+        # Machine ctor already does this; repeated here so an injector
+        # attached after construction also falls back to the reference
+        # per-chunk path — retry/backoff semantics must never mix with the
+        # fast path).
+        if getattr(machine, "dataplane", None) == "bulk":
+            machine.dataplane = "chunked"
+            machine.pfs.dataplane_bulk = False
+            for node in machine.nodes:
+                node.ssd.fast_path = False
+            for server in machine.pfs.servers:
+                server.fast_path = False
+                server.target.fast_path = False
         self._wire()
 
     # -- wiring ----------------------------------------------------------------

@@ -46,6 +46,11 @@ class StorageDevice:
         self.fault_node: Optional[int] = None
         self.read_only = False  # device failed into its end-of-life RO mode
         self.io_errors_injected = 0
+        # Bulk data-plane flag (set by Machine under REPRO_DATAPLANE=bulk):
+        # when the queue is free and no injector is attached, an op's
+        # duration is fully determined at issue time, so it is charged as a
+        # single timeout instead of a grant-event round trip.
+        self.fast_path = False
 
     # subclass hooks -----------------------------------------------------------
     def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
@@ -54,12 +59,31 @@ class StorageDevice:
     # generator API --------------------------------------------------------------
     def write(self, offset: int, nbytes: int):
         """Process body: queue for the device, then hold it for the service time."""
-        yield from self._io(offset, nbytes, True)
+        return self._io(offset, nbytes, True)
 
     def read(self, offset: int, nbytes: int):
-        yield from self._io(offset, nbytes, False)
+        return self._io(offset, nbytes, False)
 
     def _io(self, offset: int, nbytes: int, is_write: bool):
+        if self.fast_path and self.injector is None and self.queue.try_acquire():
+            # Bulk fast path: the slot is ours synchronously (same condition
+            # under which request() grants immediately), no fault hook can
+            # fire, so the completion timestamp is determined now.  All
+            # device state (head position, stream table, RNG jitter) is
+            # touched under the slot in grant order, exactly as on the slow
+            # path; the only difference is one fewer kernel event.
+            try:
+                dt = self.service_time(offset, nbytes, is_write)
+                self.busy_time += dt
+                self.requests_served += 1
+                if is_write:
+                    self.bytes_written += nbytes
+                else:
+                    self.bytes_read += nbytes
+                yield self.sim.timeout(dt)
+            finally:
+                self.queue.release()
+            return
         yield self.queue.request()
         try:
             if self.injector is not None and not is_write:

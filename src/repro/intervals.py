@@ -18,11 +18,12 @@ from typing import Iterable, Iterator
 class IntervalSet:
     """A sorted, coalesced set of half-open ``[start, end)`` intervals."""
 
-    __slots__ = ("_starts", "_ends")
+    __slots__ = ("_starts", "_ends", "_total")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()):
         self._starts: list[int] = []
         self._ends: list[int] = []
+        self._total = 0  # running covered-byte count, kept exact by mutators
         for start, end in intervals:
             self.add(start, end)
 
@@ -38,10 +39,16 @@ class IntervalSet:
         lo = bisect_left(ends, start)
         hi = bisect_right(starts, end)
         if lo < hi:  # merge with runs lo..hi-1
+            absorbed = 0
+            for i in range(lo, hi):
+                absorbed += ends[i] - starts[i]
             start = min(start, starts[lo])
             end = max(end, ends[hi - 1])
             del starts[lo:hi]
             del ends[lo:hi]
+            self._total += (end - start) - absorbed
+        else:
+            self._total += end - start
         starts.insert(lo, start)
         ends.insert(lo, end)
 
@@ -61,15 +68,19 @@ class IntervalSet:
             keep.append((starts[lo], start))
         if ends[hi - 1] > end:
             keep.append((end, ends[hi - 1]))
+        for i in range(lo, hi):
+            self._total -= ends[i] - starts[i]
         del starts[lo:hi]
         del ends[lo:hi]
         for idx, (s, e) in enumerate(keep):
             starts.insert(lo + idx, s)
             ends.insert(lo + idx, e)
+            self._total += e - s
 
     def clear(self) -> None:
         self._starts.clear()
         self._ends.clear()
+        self._total = 0
 
     # -- queries ---------------------------------------------------------------
     def __iter__(self) -> Iterator[tuple[int, int]]:
@@ -92,8 +103,8 @@ class IntervalSet:
 
     @property
     def total(self) -> int:
-        """Total bytes covered."""
-        return sum(e - s for s, e in self)
+        """Total bytes covered (O(1): maintained by the mutators)."""
+        return self._total
 
     def covers(self, start: int, end: int) -> bool:
         """Is ``[start, end)`` fully contained?"""
@@ -140,4 +151,5 @@ class IntervalSet:
         new = IntervalSet()
         new._starts = list(self._starts)
         new._ends = list(self._ends)
+        new._total = self._total
         return new

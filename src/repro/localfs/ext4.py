@@ -192,7 +192,7 @@ class LocalFileSystem:
         return self._gather(f, offset, nbytes)
 
     def fsync(self, f: LocalFile):
-        yield from self.node.page_cache.fsync(f.file_id)
+        return self.node.page_cache.fsync(f.file_id)
 
     # -- data assembly (verification support) ------------------------------------
     def _gather(self, f: LocalFile, offset: int, nbytes: int) -> Optional[np.ndarray]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import ClusterConfig
+from repro.dataplane import default_dataplane_kind
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import CacheRecoveryRegistry
 from repro.faults.spec import FaultSchedule
@@ -63,6 +64,18 @@ class Machine:
         # the ADIO degradation path (their owning objects are torn down with
         # each file, so per-thread counters would be lost by run end).
         self.cache_stats = {"retries": 0, "requeues": 0, "sync_failures": 0, "degraded": 0}
+        # Data-plane selection (REPRO_DATAPLANE): the bulk fast path by
+        # default, the per-chunk reference for A/B determinism checks.  Any
+        # fault schedule forces chunked machine-wide so retry/backoff and
+        # the recorded fault event stream are untouched by the fast path.
+        self.dataplane = "chunked" if faults else default_dataplane_kind()
+        bulk = self.dataplane == "bulk"
+        for node in self.nodes:
+            node.ssd.fast_path = bulk
+        for server in self.pfs.servers:
+            server.fast_path = bulk
+            server.target.fast_path = bulk
+        self.pfs.dataplane_bulk = bulk
         self.faults = FaultInjector(self, faults) if faults else None
 
     def pfs_client(self, rank: int) -> PFSClient:

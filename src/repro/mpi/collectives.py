@@ -98,13 +98,22 @@ class CollectiveCosts:
 class _Slot:
     op_name: str = ""
     arrivals: dict[int, Any] = field(default_factory=dict)
-    arrival_times: dict[int, float] = field(default_factory=dict)
     release: dict[int, Event] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
+    shared: Optional[Event] = None  # bulk data plane: one release for all ranks
 
 
 class ModelCollectives:
-    """Arrival-synchronised collectives with analytic durations."""
+    """Arrival-synchronised collectives with analytic durations.
+
+    ``shared_release`` (bulk data plane) releases every rank through one
+    shared event instead of one event per rank.  Per-rank release events are
+    scheduled back-to-back in arrival order by :meth:`_complete`, so they
+    fire consecutively with nothing interleaved; the shared event resumes
+    the same rank continuations in the same (arrival) order within one
+    event — timestamps and results are identical, events are O(1) per
+    collective instead of O(P).
+    """
 
     def __init__(
         self,
@@ -112,11 +121,13 @@ class ModelCollectives:
         nprocs: int,
         costs: CollectiveCosts,
         rank_to_node: Optional[list[int]] = None,
+        shared_release: bool = False,
     ):
         self.sim = sim
         self.nprocs = nprocs
         self.costs = costs
         self.rank_to_node = rank_to_node or list(range(nprocs))
+        self.shared_release = shared_release
         self._slot_index = [0] * nprocs
         self._slots: dict[int, _Slot] = {}
         self.invocations = 0
@@ -128,17 +139,23 @@ class ModelCollectives:
         slot = self._slots.get(idx)
         if slot is None:
             slot = self._slots[idx] = _Slot(op_name=op_name)
+            if self.shared_release:
+                slot.shared = Event(self.sim, name=f"coll:{op_name}[{idx}]")
         if slot.op_name != op_name:
             raise SimError(
                 f"collective mismatch at slot {idx}: rank {rank} called "
                 f"{op_name!r} but others called {slot.op_name!r}"
             )
-        ev = Event(self.sim, name=f"coll:{op_name}[{idx}]r{rank}")
         slot.arrivals[rank] = value
-        slot.arrival_times[rank] = self.sim.now
-        slot.release[rank] = ev
         for key, val in extra.items():
             slot.extra.setdefault(key, {})[rank] = val
+        if slot.shared is not None:
+            if len(slot.arrivals) == self.nprocs:
+                self._complete(idx, slot)
+            results = yield slot.shared
+            return results[rank]
+        ev = Event(self.sim, name=f"coll:{op_name}[{idx}]r{rank}")
+        slot.release[rank] = ev
         if len(slot.arrivals) == self.nprocs:
             self._complete(idx, slot)
         result = yield ev
@@ -146,26 +163,21 @@ class ModelCollectives:
 
     # individual operations -------------------------------------------------
     def barrier(self, rank: int):
-        result = yield from self.enter(rank, "barrier")
-        return result
+        return self.enter(rank, "barrier")
 
     def allreduce(self, rank: int, value: Any, op: Op = op_sum, nbytes: int = 8):
-        result = yield from self.enter(rank, "allreduce", value, op={rank: None}, reduce_op=op, nbytes=nbytes)
-        return result
+        return self.enter(rank, "allreduce", value, op={rank: None}, reduce_op=op, nbytes=nbytes)
 
     def allgather(self, rank: int, value: Any, nbytes: int = 8):
-        result = yield from self.enter(rank, "allgather", value, nbytes=nbytes)
-        return result
+        return self.enter(rank, "allgather", value, nbytes=nbytes)
 
     def alltoall(self, rank: int, values: list[Any], per_pair_bytes: int = 16):
         if len(values) != self.nprocs:
             raise SimError(f"alltoall needs {self.nprocs} values, got {len(values)}")
-        result = yield from self.enter(rank, "alltoall", values, nbytes=per_pair_bytes)
-        return result
+        return self.enter(rank, "alltoall", values, nbytes=per_pair_bytes)
 
     def bcast(self, rank: int, value: Any, root: int = 0, nbytes: int = 8):
-        result = yield from self.enter(rank, "bcast", (value if rank == root else None), root=root, nbytes=nbytes)
-        return result
+        return self.enter(rank, "bcast", (value if rank == root else None), root=root, nbytes=nbytes)
 
     def shuffle(self, rank: int, out_bytes: dict[int, float], msg_count: int = 0):
         """The ext2ph data exchange as a pseudo-collective.
@@ -173,15 +185,13 @@ class ModelCollectives:
         ``out_bytes`` maps destination rank -> bytes this rank sends there.
         Returns the per-rank inbound byte total (what this rank received).
         """
-        result = yield from self.enter(rank, "shuffle", out_bytes, msgs=msg_count)
-        return result
+        return self.enter(rank, "shuffle", out_bytes, msgs=msg_count)
 
     def timed(self, rank: int, duration: float, label: str = "timed"):
         """A pre-costed synchronisation: all ranks arrive, all are released
         ``max(duration)`` after the last arrival.  Used when the exchange
         cost has been computed centrally (vectorised over rounds)."""
-        result = yield from self.enter(rank, f"timed:{label}", duration)
-        return result
+        return self.enter(rank, f"timed:{label}", duration)
 
     # completion -------------------------------------------------------------
     def _complete(self, idx: int, slot: _Slot) -> None:
@@ -245,8 +255,11 @@ class ModelCollectives:
             results = in_rank
         else:  # pragma: no cover - guarded by enter()
             raise SimError(f"unknown collective {op!r}")
-        for r, ev in slot.release.items():
-            ev.succeed(results[r], delay=duration)
+        if slot.shared is not None:
+            slot.shared.succeed(results, delay=duration)
+        else:
+            for r, ev in slot.release.items():
+                ev.succeed(results[r], delay=duration)
         del self._slots[idx]
 
 
@@ -363,5 +376,4 @@ class AlgorithmicCollectives:
         return result
 
     def allgather(self, rank: int, value: Any):
-        vals = yield from self.alltoall(rank, [value] * self.nprocs)
-        return vals
+        return self.alltoall(rank, [value] * self.nprocs)

@@ -37,6 +37,7 @@ class Communicator:
         costs: CollectiveCosts,
         collective_mode: str = "model",
         payload_nbytes: Optional[Callable[[Any], int]] = None,
+        shared_release: bool = False,
     ):
         if collective_mode not in ("model", "algorithmic"):
             raise SimError(f"unknown collective mode {collective_mode!r}")
@@ -45,7 +46,9 @@ class Communicator:
         self.nprocs = nprocs
         self.collective_mode = collective_mode
         self.rank_to_node = transport.rank_to_node
-        self._model = ModelCollectives(sim, nprocs, costs, transport.rank_to_node)
+        self._model = ModelCollectives(
+            sim, nprocs, costs, transport.rank_to_node, shared_release=shared_release
+        )
         self._algo = AlgorithmicCollectives(sim, transport, nprocs, payload_nbytes)
 
     @property
@@ -74,56 +77,47 @@ class Communicator:
         return msg
 
     def waitall(self, requests: list[Request]):
-        out = yield from req_mod.waitall(self.sim, requests)
-        return out
+        return req_mod.waitall(self.sim, requests)
 
     def grequest_start(self, meta: Optional[dict] = None) -> GeneralizedRequest:
         return GeneralizedRequest(self.sim, meta=meta)
 
     # -- collectives ------------------------------------------------------------
+    # Each wrapper returns the engine's generator directly (callers drive it
+    # with ``yield from``) instead of re-yielding through a one-level
+    # trampoline frame — same values, one less generator per call.
     def barrier(self, rank: int):
         if self.collective_mode == "model":
-            yield from self._model.barrier(rank)
-        else:
-            yield from self._algo.barrier(rank)
+            return self._model.barrier(rank)
+        return self._algo.barrier(rank)
 
     def allreduce(self, rank: int, value: Any, op: Op = op_sum, nbytes: int = 8):
         if self.collective_mode == "model":
-            result = yield from self._model.allreduce(rank, value, op, nbytes)
-        else:
-            result = yield from self._algo.allreduce(rank, value, op)
-        return result
+            return self._model.allreduce(rank, value, op, nbytes)
+        return self._algo.allreduce(rank, value, op)
 
     def allgather(self, rank: int, value: Any, nbytes: int = 8):
         if self.collective_mode == "model":
-            result = yield from self._model.allgather(rank, value, nbytes)
-        else:
-            result = yield from self._algo.allgather(rank, value)
-        return result
+            return self._model.allgather(rank, value, nbytes)
+        return self._algo.allgather(rank, value)
 
     def alltoall(self, rank: int, values: list[Any], per_pair_bytes: int = 16):
         if self.collective_mode == "model":
-            result = yield from self._model.alltoall(rank, values, per_pair_bytes)
-        else:
-            result = yield from self._algo.alltoall(rank, values)
-        return result
+            return self._model.alltoall(rank, values, per_pair_bytes)
+        return self._algo.alltoall(rank, values)
 
     def bcast(self, rank: int, value: Any, root: int = 0, nbytes: int = 8):
         if self.collective_mode == "model":
-            result = yield from self._model.bcast(rank, value, root, nbytes)
-        else:
-            result = yield from self._algo.bcast(rank, value, root)
-        return result
+            return self._model.bcast(rank, value, root, nbytes)
+        return self._algo.bcast(rank, value, root)
 
     def shuffle(self, rank: int, out_bytes: dict[int, float], msg_count: int = 0):
         """Model-engine bulk exchange used by ext2ph's aggregated-flow mode."""
-        result = yield from self._model.shuffle(rank, out_bytes, msg_count)
-        return result
+        return self._model.shuffle(rank, out_bytes, msg_count)
 
     def timed(self, rank: int, duration: float, label: str = "timed"):
         """Pre-costed synchronisation point (see ModelCollectives.timed)."""
-        result = yield from self._model.timed(rank, duration, label)
-        return result
+        return self._model.timed(rank, duration, label)
 
     @property
     def costs(self) -> CollectiveCosts:

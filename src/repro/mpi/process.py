@@ -60,8 +60,13 @@ class MPIWorld:
         cfg = machine.config
         nprocs = cfg.num_ranks
         rank_to_node = [r // cfg.procs_per_node for r in range(nprocs)]
+        bulk = getattr(machine, "dataplane", "chunked") == "bulk"
         self.transport = Transport(
-            machine.sim, machine.fabric, rank_to_node, cfg.network.per_message_overhead
+            machine.sim,
+            machine.fabric,
+            rank_to_node,
+            cfg.network.per_message_overhead,
+            coalesce=bulk,
         )
         costs = CollectiveCosts(
             alpha=cfg.network.alpha_collective,
@@ -71,7 +76,12 @@ class MPIWorld:
             shm_beta_inv=1.0 / cfg.network.shm_bw,
         )
         self.comm = Communicator(
-            machine.sim, self.transport, nprocs, costs, collective_mode=collective_mode
+            machine.sim,
+            self.transport,
+            nprocs,
+            costs,
+            collective_mode=collective_mode,
+            shared_release=bulk,
         )
 
     def contexts(self) -> list[MPIContext]:

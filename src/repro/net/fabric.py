@@ -67,17 +67,28 @@ class Link:
 
 
 class Flow:
-    """An active transfer across a set of links."""
+    """An active transfer across a set of links.
 
-    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes")
+    ``weight`` bundles ``weight`` *identical* member transfers (same links,
+    same per-member ``nbytes``, started at the same instant) into one flow
+    object.  ``nbytes``/``remaining``/``rate`` stay **per member**: the
+    bundle counts as ``weight`` entries in every fair-share division and
+    subtracts its share ``weight`` times from crossed residuals, so the
+    allocation is bit-identical to ``weight`` separate flows (identical
+    flows always freeze in the same filling round, and equal-share clamped
+    subtractions commute).
+    """
 
-    def __init__(self, fid: int, links: list[Link], nbytes: float, done: Event):
+    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes", "weight")
+
+    def __init__(self, fid: int, links: list[Link], nbytes: float, done: Event, weight: int = 1):
         self.fid = fid
         self.links = links
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.done = done
+        self.weight = weight
 
 
 class Fabric:
@@ -118,6 +129,8 @@ class Fabric:
         self._in = [Link(f"node{n}.in", nic_bw) for n in range(num_nodes)]
         self._loop = [Link(f"node{n}.loop", self.loopback_bw) for n in range(num_nodes)]
         self._flows: dict[Flow, None] = {}  # ordered set, see Link.flows
+        self._done_to_flow: dict[Event, Flow] = {}  # active flows by done event
+        self._weighted = False  # any bundle live since construction?
         self._fid = itertools.count()
         self._last_update = 0.0
         self._wake: Optional[Event] = None
@@ -144,13 +157,17 @@ class Fabric:
         dst_node: int,
         nbytes: float,
         extra_links: tuple[Link, ...] = (),
+        weight: int = 1,
     ) -> Event:
         """Begin a transfer; the returned event fires when the last byte lands.
 
         Zero-byte flows complete after just the propagation latency.
         ``extra_links`` lets callers thread additional shared capacities into
         the fair-sharing computation (e.g. a PFS client's streaming channel
-        and the target server's ingest stage).
+        and the target server's ingest stage).  ``weight > 1`` starts a
+        bundle of that many identical member transfers of ``nbytes`` each
+        (see :class:`Flow`); the event fires when the bundle's last byte
+        lands.
         """
         done = self.sim.event(name=f"flow:{src_node}->{dst_node}")
         if nbytes <= 0:
@@ -161,13 +178,36 @@ class Fabric:
         else:
             links = [self._out[src_node], self._in[dst_node]]
         links.extend(extra_links)
-        flow = Flow(next(self._fid), links, nbytes, done)
+        flow = Flow(next(self._fid), links, nbytes, done, weight=weight)
+        if weight != 1:
+            self._weighted = True
         self._flows[flow] = None
+        self._done_to_flow[done] = flow
         for link in links:
             link.flows[flow] = None
-        self.bytes_moved += nbytes
+        self.bytes_moved += nbytes * weight
         self._change(links)
         return done
+
+    def grow_flow(self, flow_done: Event, nbytes: float) -> bool:
+        """Add one member of ``nbytes`` to the bundle completing at ``flow_done``.
+
+        Only valid at the instant the bundle was started (the caller
+        guarantees this — intra-instant growth is indistinguishable from
+        having started the larger bundle, because a zero-length interval
+        moves no bytes and a flow can never finish within its start
+        instant).  Returns False when the flow cannot be grown (not active,
+        or a different per-member size), in which case the caller starts a
+        separate flow.
+        """
+        flow = self._done_to_flow.get(flow_done)
+        if flow is None or flow.nbytes != float(nbytes):
+            return False
+        flow.weight += 1
+        self._weighted = True
+        self.bytes_moved += nbytes
+        self._change(flow.links)
+        return True
 
     def transfer(self, src_node: int, dst_node: int, nbytes: float):
         """Process-style helper: ``yield from fabric.transfer(...)``."""
@@ -298,13 +338,20 @@ class Fabric:
             link: dict.fromkeys(f for f in link.flows if f in unfrozen)
             for link in residual
         }
+        weighted = self._weighted
         while unfrozen:
             best_link = None
             best_share = _INF
             for link, members in live.items():
                 if not members:
                     continue
-                share = residual[link] / len(members)
+                if weighted:
+                    # Bundle members count individually; both divisors are
+                    # exact ints, so all-weight-1 fabrics divide by the same
+                    # value either way (the flag only skips the summation).
+                    share = residual[link] / sum(f.weight for f in members)
+                else:
+                    share = residual[link] / len(members)
                 if share < best_share:
                     best_share = share
                     best_link = link
@@ -319,7 +366,17 @@ class Fabric:
                 unfrozen.pop(flow, None)
                 for link in flow.links:
                     if link is not best_link:
-                        residual[link] = max(0.0, residual[link] - best_share)
+                        if flow.weight == 1:
+                            residual[link] = max(0.0, residual[link] - best_share)
+                        else:
+                            # One clamped subtraction per bundle member —
+                            # exactly what `weight` separate flows would do
+                            # (equal-share subtractions commute, so member
+                            # interleaving cannot matter).
+                            r = residual[link]
+                            for _ in range(flow.weight):
+                                r = max(0.0, r - best_share)
+                            residual[link] = r
                         live[link].pop(flow, None)
             live[best_link].clear()
 
@@ -366,6 +423,7 @@ class Fabric:
         finished = [f for f in self._flows if f.remaining <= self._finish_threshold(f)]
         for flow in finished:
             self._flows.pop(flow, None)
+            self._done_to_flow.pop(flow.done, None)
             for link in flow.links:
                 link.flows.pop(flow, None)
         for flow in finished:

@@ -69,6 +69,9 @@ class PFSClient:
         self.bytes_written = 0
         self.bytes_read = 0
         self.rpcs = 0
+        # Bulk data plane: same-size runs to the same server start as one
+        # weighted flow instead of one flow per run (see _group_runs).
+        self._bulk = getattr(pfs, "dataplane_bulk", False)
 
     # -- metadata ------------------------------------------------------------
     def create(self, path: str, stripe_size=None, stripe_count=None):
@@ -111,8 +114,14 @@ class PFSClient:
         try:
             yield self.sim.timeout(cfg.client_rpc_overhead * len(runs))
             subprocs = []
-            for run in runs:
-                subprocs.append(self.sim.process(self._rpc_write(f, run), name="rpc"))
+            if self._bulk and len(runs) > 1:
+                for group in self._group_runs(f, runs):
+                    subprocs.append(
+                        self.sim.process(self._rpc_write_group(f, group), name="rpc")
+                    )
+            else:
+                for run in runs:
+                    subprocs.append(self.sim.process(self._rpc_write(f, run), name="rpc"))
             yield self.sim.all_of(subprocs)
         finally:
             if locking:
@@ -120,6 +129,56 @@ class PFSClient:
                     self.pfs.locks.release(f.file_id, s, exclusive=True)
         f.record_write(offset, nbytes, data)
         self.bytes_written += nbytes
+
+    def _group_runs(
+        self, f: PFSFile, runs: list[list[StripeChunk]]
+    ) -> list[list[list[StripeChunk]]]:
+        """Group target runs by (server, byte total), preserving run order.
+
+        Runs in one group are indistinguishable transfers (same endpoints,
+        same links, same size), so they may share one weighted flow — the
+        fair-share allocation is bit-identical to separate flows (see
+        :class:`~repro.net.fabric.Flow`), and the per-server order of the
+        serve processes is the run order either way.
+        """
+        groups: list[list[list[StripeChunk]]] = []
+        index: dict[tuple[int, int], int] = {}
+        for run in runs:
+            server = self.pfs.server_for(f, run[0].target)
+            total = sum(ch.length for ch in run)
+            key = (server.server_id, total)
+            i = index.get(key)
+            if i is None:
+                index[key] = len(groups)
+                groups.append([run])
+            else:
+                groups[i].append(run)
+        return groups
+
+    def _rpc_write_group(self, f: PFSFile, group: list[list[StripeChunk]]):
+        """A bundle of identical write RPCs to one server: one weighted flow
+        plus one server-side service process per member run."""
+        server = self.pfs.server_for(f, group[0][0].target)
+        total = sum(ch.length for ch in group[0])
+        self.rpcs += len(group)
+        fill = min(total, 512 * 1024) / self.pfs.cfg.per_client_max_bw
+        yield self.sim.timeout(fill)
+        waits = [
+            self.pfs.fabric.start_flow(
+                self.node_id,
+                server.fabric_node,
+                total,
+                extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+                weight=len(group),
+            )
+        ]
+        for run in group:
+            waits.append(
+                self.sim.process(
+                    server.serve_write(run[0].target_offset, total), name="srv-w"
+                )
+            )
+        yield self.sim.all_of(waits)
 
     def _rpc_write(self, f: PFSFile, run: list[StripeChunk]):
         """One streaming write RPC: the network transfer and the server's
@@ -239,14 +298,44 @@ class PFSClient:
         try:
             yield self.sim.timeout(cfg.client_rpc_overhead * len(runs))
             subprocs = []
-            for run in runs:
-                subprocs.append(self.sim.process(self._rpc_read(f, run), name="rpc-r"))
+            if self._bulk and len(runs) > 1:
+                for group in self._group_runs(f, runs):
+                    subprocs.append(
+                        self.sim.process(self._rpc_read_group(f, group), name="rpc-r")
+                    )
+            else:
+                for run in runs:
+                    subprocs.append(self.sim.process(self._rpc_read(f, run), name="rpc-r"))
             yield self.sim.all_of(subprocs)
         finally:
             for s in stripes:
                 self.pfs.locks.release(f.file_id, s, exclusive=False)
         self.bytes_read += nbytes
         return f.read_back(offset, nbytes)
+
+    def _rpc_read_group(self, f: PFSFile, group: list[list[StripeChunk]]):
+        """Read-side counterpart of :meth:`_rpc_write_group`."""
+        server = self.pfs.server_for(f, group[0][0].target)
+        total = sum(ch.length for ch in group[0])
+        self.rpcs += len(group)
+        fill = min(total, 512 * 1024) / self.pfs.cfg.per_client_max_bw
+        yield self.sim.timeout(fill)
+        waits = [
+            self.pfs.fabric.start_flow(
+                server.fabric_node,
+                self.node_id,
+                total,
+                extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+                weight=len(group),
+            )
+        ]
+        for run in group:
+            waits.append(
+                self.sim.process(
+                    server.serve_read(run[0].target_offset, total), name="srv-r"
+                )
+            )
+        yield self.sim.all_of(waits)
 
     def _rpc_read(self, f: PFSFile, run: list[StripeChunk]):
         server = self.pfs.server_for(f, run[0].target)

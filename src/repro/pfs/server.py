@@ -150,6 +150,7 @@ class DataServer:
         )
         self.rpcs_served = 0
         self.injector = None  # set by repro.faults when a stall targets us
+        self.fast_path = False  # bulk data plane: skip free-worker grant events
 
     def serve_write(self, target_offset: int, nbytes: int, rpc_count: int = 1):
         """Generator: process one write RPC — worker, overhead, cache absorb.
@@ -157,7 +158,8 @@ class DataServer:
         ``rpc_count > 1`` accounts for a batch of logical RPCs coalesced by
         the caller: per-RPC overhead is charged for each.
         """
-        yield self.workers.request()
+        if not (self.fast_path and self.injector is None and self.workers.try_acquire()):
+            yield self.workers.request()
         try:
             if self.injector is not None:
                 # A stalled server parks the RPC while holding the worker:
@@ -175,7 +177,8 @@ class DataServer:
             self.workers.release()
 
     def serve_read(self, target_offset: int, nbytes: int):
-        yield self.workers.request()
+        if not (self.fast_path and self.injector is None and self.workers.try_acquire()):
+            yield self.workers.request()
         try:
             if self.injector is not None:
                 yield from self.injector.server_gate(self.server_id)

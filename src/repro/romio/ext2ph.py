@@ -302,6 +302,10 @@ def _rounds_model(fd: ADIOFile, rank: int, access: RankAccess, call, prof: Profi
     merged = call.merged_cov
     node = fd.machine.nodes[comm.node_of(rank)]
     label = f"c{call.index}"
+    sim = fd.machine.sim
+    bulk = getattr(fd.machine, "dataplane", "chunked") == "bulk"
+    piece_overhead = fd.machine.config.network.piece_overhead
+    memcpy_bw = fd.machine.config.ram.memcpy_bw
     for r in range(call.ntimes):
         t0 = prof.mark()
         yield from comm.timed(rank, call.alltoall_cost, f"a2a.{label}")
@@ -318,10 +322,15 @@ def _rounds_model(fd: ADIOFile, rank: int, access: RankAccess, call, prof: Profi
         # Assembly: streaming copy plus the per-piece scatter cost (heap
         # merge + small-extent memcpy inefficiency).
         npieces = int(call.recv_pieces[agg_idx, r])
-        yield fd.machine.sim.timeout(
-            npieces * fd.machine.config.network.piece_overhead
-        )
-        yield from node.memcpy(recv)
+        if bulk:
+            # Both delays are fixed at issue time; charge them as one event
+            # landing at the exact chained-addition timestamp (floats are
+            # not associative, so the two hops are added separately).
+            t_mid = sim.now + npieces * piece_overhead
+            yield sim.at(t_mid + recv / memcpy_bw)
+        else:
+            yield sim.timeout(npieces * piece_overhead)
+            yield from node.memcpy(recv)
         prof.lap("memcpy", t0)
         lo = domain.start + r * cb
         hi = min(domain.end, lo + cb)

@@ -138,12 +138,47 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimError(f"negative timeout {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Static name: formatting a per-instance label would cost more than
+        # the rest of construction combined on the hot path; the repr below
+        # carries the delay for debugging.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._triggered = True
         self._ok = True
         self._value = value
         sim._schedule(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "triggered"
+        return f"<Timeout({self.delay:g}) {state}>"
+
+
+class Deadline(Event):
+    """An event that fires at an **absolute** simulated instant.
+
+    Like :class:`Timeout` but scheduled at ``when`` rather than ``now +
+    delay``: when a caller has computed a completion timestamp through a
+    chain of float additions, rescheduling via a delay (``when - now``)
+    would re-round and land on a slightly different instant.  The bulk
+    data-plane fast path uses this to charge a fused sequence of timeouts
+    as one event at *exactly* the timestamp the unfused sequence reaches.
+    """
+
+    __slots__ = ("when",)
+
+    def __init__(self, sim: "Simulator", when: float, value: Any = None):
+        if when < sim.now:
+            raise SimError(f"deadline {when} is in the past (now={sim.now})")
+        super().__init__(sim, name="deadline")
+        self.when = when
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_at(self, when)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "triggered"
+        return f"<Deadline({self.when:g}) {state}>"
 
 
 class Process(Event):
@@ -318,6 +353,10 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def at(self, when: float, value: Any = None) -> Deadline:
+        """An event firing at the absolute instant ``when`` (see Deadline)."""
+        return Deadline(self, when, value)
+
     def process(self, gen: ProcGen, name: str = "") -> Process:
         return Process(self, gen, name=name)
 
@@ -344,6 +383,13 @@ class Simulator:
             raise SimError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if self.profiler is not None:
+            self.profiler.heap_sample(len(self._heap))
+
+    def _schedule_at(self, event: Event, when: float) -> None:
+        """Schedule at an absolute timestamp (no ``now + delay`` rounding)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
         if self.profiler is not None:
             self.profiler.heap_sample(len(self._heap))
 

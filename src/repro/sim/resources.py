@@ -37,6 +37,7 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        self._acq_name = "acquire:" + name  # precomputed: request() is hot
 
     @property
     def in_use(self) -> int:
@@ -47,13 +48,27 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        ev = Event(self.sim, name=f"acquire:{self.name}")
+        ev = Event(self.sim, name=self._acq_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             ev.succeed()
         else:
             self._waiters.append(ev)
         return ev
+
+    def try_acquire(self) -> bool:
+        """Take a slot synchronously if one is free *and* nobody is queued.
+
+        This is exactly the condition under which :meth:`request` grants
+        immediately; the only difference is that the caller skips the
+        zero-delay grant event and continues in the same simulator turn.
+        FIFO fairness is preserved: with waiters present the method always
+        fails, so a fast-path caller can never overtake the queue.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -90,6 +105,7 @@ class Store:
         self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
+        self._get_name = "get:" + name
 
     def __len__(self) -> int:
         return len(self._items)
@@ -101,7 +117,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:

@@ -1,0 +1,136 @@
+"""Bulk-transfer fast path: kind selection, fault fallback, equivalence.
+
+The bulk data plane must be invisible in every simulated quantity — only
+the diagnostic event count may change — and must never engage while a
+fault injector is live (the retry/requeue scaffolding it drops is exactly
+what faults exercise).
+"""
+
+import pytest
+
+from repro.cache.cachefile import CacheState
+from repro.cache.policy import CachePolicy
+from repro.config import small_testbed
+from repro.dataplane import DATAPLANE_KINDS, default_dataplane_kind
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.errors import SyncFailedError
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+from repro.units import KiB
+
+TINY = dict(scale=0.02, num_files=2, flush_batch_chunks=16)
+
+
+class TestKindSelection:
+    def test_kinds(self):
+        assert DATAPLANE_KINDS == ("bulk", "chunked")
+
+    def test_default_is_bulk(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATAPLANE", raising=False)
+        assert default_dataplane_kind() == "bulk"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATAPLANE", "chunked")
+        assert default_dataplane_kind() == "chunked"
+
+    def test_unknown_kind_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATAPLANE", "turbo")
+        with pytest.raises(ValueError):
+            default_dataplane_kind()
+
+    def test_machine_wires_fast_path_flags(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATAPLANE", raising=False)
+        m = Machine(small_testbed())
+        assert m.dataplane == "bulk"
+        assert all(node.ssd.fast_path for node in m.nodes)
+        assert all(s.fast_path and s.target.fast_path for s in m.pfs.servers)
+        assert m.pfs.dataplane_bulk
+
+    def test_faults_force_chunked(self, monkeypatch):
+        """Any active fault schedule disables the fast path machine-wide."""
+        monkeypatch.setenv("REPRO_DATAPLANE", "bulk")
+        sched = FaultSchedule.of(
+            FaultSpec("ssd_io_error", target=0, start=5.0, duration=0.1, rate=1.0)
+        )
+        m = Machine(small_testbed(), faults=sched)
+        assert m.dataplane == "chunked"
+        assert not any(node.ssd.fast_path for node in m.nodes)
+        assert not any(s.fast_path or s.target.fast_path for s in m.pfs.servers)
+        assert not m.pfs.dataplane_bulk
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", ["enabled", "disabled"])
+    def test_bulk_matches_chunked_excluding_events(self, mode, monkeypatch):
+        spec = ExperimentSpec("ior", cache_mode=mode, **TINY)
+        monkeypatch.setenv("REPRO_DATAPLANE", "chunked")
+        slow = run_experiment(spec)
+        monkeypatch.setenv("REPRO_DATAPLANE", "bulk")
+        fast = run_experiment(spec)
+        a, b = slow.to_dict(), fast.to_dict()
+        slow_events, fast_events = a.pop("events"), b.pop("events")
+        assert a == b
+        assert fast_events < slow_events
+
+
+def _run_faulted_sync(kind, monkeypatch):
+    """One faulted flush under the requested dataplane; full state snapshot."""
+    monkeypatch.setenv("REPRO_DATAPLANE", kind)
+    # rate=1.0 inside [0, 10ms): the sync thread's first SSD read-back
+    # faults, retries with backoff, and succeeds once the window closes.
+    sched = FaultSchedule.of(
+        FaultSpec("ssd_io_error", target=0, start=0.0, duration=0.01, rate=1.0)
+    )
+    machine = Machine(small_testbed(), faults=sched)
+    world = MPIWorld(machine)
+    policy = CachePolicy(
+        enabled=True,
+        coherent=False,
+        flush_mode="flush_immediate",
+        discard_on_close=True,
+        cache_path="/scratch",
+        sync_chunk=32 * KiB,
+    )
+    pfs_file = machine.pfs.create("/g/target")
+    state = CacheState(machine, 0, pfs_file, policy, world.comm)
+
+    def proc():
+        greq = yield from state.write_through_cache(0, 256 * KiB, None)
+        try:
+            yield from greq.wait()
+        except SyncFailedError:
+            return "failed"
+        return "ok"
+
+    outcome = machine.sim.run(until=machine.sim.process(proc()))
+    thread = state.sync_thread
+    return {
+        "outcome": outcome,
+        "now": machine.sim.now,
+        "events": machine.sim.events_fired,
+        "retries": thread.retries,
+        "requeues": thread.requeues,
+        "failures": thread.failures,
+        "bytes_synced": thread.bytes_synced,
+        "requests_done": thread.requests_done,
+        "busy_time": thread.busy_time,
+        "journal_synced": list(state.journal.synced),
+        "persisted": list(pfs_file.persisted),
+        "cache_stats": dict(machine.cache_stats),
+    }
+
+
+class TestFaultedSyncIdentical:
+    def test_bulk_request_under_faults_matches_chunked(self, monkeypatch):
+        """With an injector live, REPRO_DATAPLANE=bulk falls back to the
+        chunked service loop: retry counts, requeue counts, journal marks
+        and event trace all come out identical to an explicit chunked run.
+        """
+        asked_bulk = _run_faulted_sync("bulk", monkeypatch)
+        chunked = _run_faulted_sync("chunked", monkeypatch)
+        assert asked_bulk == chunked
+        # The fault really did land mid-window (otherwise this test is vacuous).
+        assert chunked["retries"] > 0
+        assert chunked["outcome"] == "ok"
+        assert chunked["journal_synced"] == [(0, 256 * KiB)]

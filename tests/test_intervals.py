@@ -178,3 +178,56 @@ def test_intersect_consistent_with_covers(pairs, window):
     inter = s.intersect(lo, hi)
     assert points_of(inter) == points_of(s) & set(range(lo, hi))
     assert inter.total == len(points_of(inter))
+
+
+# -- differential: interleaved schedules vs a byte-bitmap oracle -----------------
+#
+# The running `total` counter is maintained incrementally by add/remove/clear;
+# a drift bug would only surface after a *sequence* of mutations.  Drive the
+# set and a brute-force bitmap through the same seeded random schedule and
+# compare everything after every single step.
+
+SPAN = 256
+
+ops = st.one_of(
+    st.tuples(st.just("add"), ranges),
+    st.tuples(st.just("remove"), ranges),
+    st.tuples(st.just("clear"), st.none()),
+)
+
+
+def bitmap_runs(bits):
+    runs, start = [], None
+    for i, bit in enumerate(bits):
+        if bit and start is None:
+            start = i
+        elif not bit and start is not None:
+            runs.append((start, i))
+            start = None
+    if start is not None:
+        runs.append((start, len(bits)))
+    return runs
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ops, max_size=30))
+def test_schedule_matches_bitmap_oracle(schedule):
+    s = IntervalSet()
+    bits = bytearray(SPAN)
+    for op, rng in schedule:
+        if op == "add":
+            s.add(*rng)
+            bits[rng[0] : rng[1]] = b"\x01" * (rng[1] - rng[0])
+        elif op == "remove":
+            s.remove(*rng)
+            bits[rng[0] : rng[1]] = b"\x00" * (rng[1] - rng[0])
+        else:
+            s.clear()
+            bits = bytearray(SPAN)
+        # every step: runs, running total, and the derived queries agree
+        assert list(s) == bitmap_runs(bits)
+        assert s.total == sum(bits)
+        assert list(s.gaps(0, SPAN)) == bitmap_runs(bytes(1 - b for b in bits))
+        mid = SPAN // 2
+        assert list(s.intersect(0, mid)) == bitmap_runs(bits[:mid])
+        assert s.copy().total == s.total

@@ -19,8 +19,10 @@ Usage::
     PYTHONPATH=src python tools/profile_sweep.py --fabric naive --json prof.json
 
 Compare ``--fabric naive`` against the default incremental allocator to see
-the recompute work the fast path removes (docs/PERFORMANCE.md walks through
-a session).  The profiler never changes simulation results — only observes.
+the recompute work the fast path removes, and ``--dataplane chunked``
+against the default bulk data plane to see the per-chunk event traffic the
+bulk-transfer fast path removes (docs/PERFORMANCE.md walks through both).
+The profiler never changes simulation results — only observes.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ import pstats
 import sys
 import time
 
+from repro.dataplane import DATAPLANE_KINDS
 from repro.experiments.runner import BENCHMARKS, CACHE_MODES, ExperimentSpec
 from repro.net.fabric import FABRIC_KINDS
 from repro.sim.profile import SimProfiler
@@ -54,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="incremental",
         choices=sorted(FABRIC_KINDS),
         help="allocator under profile (sets REPRO_FABRIC for the run)",
+    )
+    p.add_argument(
+        "--dataplane",
+        default="bulk",
+        choices=sorted(DATAPLANE_KINDS),
+        help="data plane under profile (sets REPRO_DATAPLANE for the run)",
     )
     p.add_argument(
         "--cprofile",
@@ -80,6 +89,7 @@ def main(argv=None) -> int:
     )
     profiler = SimProfiler()
     os.environ["REPRO_FABRIC"] = args.fabric
+    os.environ["REPRO_DATAPLANE"] = args.dataplane
     try:
         # Import after REPRO_FABRIC is set, mirroring how sweep workers
         # inherit the environment; the kind is read per-Machine anyway.
@@ -95,6 +105,7 @@ def main(argv=None) -> int:
         wall = time.perf_counter() - t0
     finally:
         os.environ.pop("REPRO_FABRIC", None)
+        os.environ.pop("REPRO_DATAPLANE", None)
 
     summary = {
         "spec": {
@@ -103,6 +114,7 @@ def main(argv=None) -> int:
             "cache_mode": spec.cache_mode,
             "scale": spec.scale,
             "fabric": args.fabric,
+            "dataplane": args.dataplane,
         },
         "wall_s": wall,
         "events_fired": result.events,
