@@ -112,6 +112,14 @@ class CacheState:
             raise
         self.cached.add(offset, offset + nbytes)
         self.bytes_cached += nbytes
+        io_stats = getattr(self.machine, "io_stats", None)
+        if io_stats is not None:
+            io_stats["bytes_cached"] += nbytes
+            if self.policy.flush_never:
+                # These bytes will never be persisted by policy; account the
+                # discard now so conservation closes without waiting for the
+                # unlink.
+                io_stats["bytes_discarded"] += nbytes
         greq = GeneralizedRequest(self.machine.sim, meta={"offset": offset, "nbytes": nbytes})
         request = SyncRequest(offset, nbytes, greq, stripes=stripes)
         if self.policy.flush_never:

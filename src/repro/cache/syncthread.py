@@ -74,14 +74,17 @@ class SyncThread:
         # Preresolved machine-wide counter dict (may be None): _stat runs per
         # retry/requeue, so the getattr lookup is hoisted out of the hot path.
         self._stats = getattr(machine, "cache_stats", None)
-        # Bulk data plane: no injector means no FaultError can reach the
-        # flush loop, so _service_fast drops the retry/backoff scaffolding.
-        self._bulk = (
-            getattr(machine, "dataplane", "chunked") == "bulk"
-            and getattr(machine, "faults", None) is None
+        self._io_stats = getattr(machine, "io_stats", None)
+        # Bulk data plane, scoped to this thread's node: the fast flush loop
+        # is valid whenever no FaultError can reach it — either no injector
+        # at all, or one whose fault sources (SSD read errors, sync RPC
+        # watchdog) cannot fire on this node (see sync_faults_possible).
+        inj = getattr(machine, "faults", None)
+        self._bulk = getattr(machine, "dataplane", "chunked") == "bulk" and (
+            inj is None
+            or not inj.sync_faults_possible(rank // machine.config.procs_per_node)
         )
         self._proc = self.sim.process(self._run(), name=f"syncthread.r{rank}")
-        inj = getattr(machine, "faults", None)
         if inj is not None:
             inj.register_daemon(self._proc)
 
@@ -146,6 +149,8 @@ class SyncThread:
                 attempts = 0
                 self.cache_state.mark_synced(pos, blen)
                 self.bytes_synced += blen
+                if self._io_stats is not None:
+                    self._io_stats["bytes_flushed"] += blen
                 pos += blen
         finally:
             self.busy_time += self.sim.now - t0
@@ -177,6 +182,8 @@ class SyncThread:
                 )
                 self.cache_state.mark_synced(pos, blen)
                 self.bytes_synced += blen
+                if self._io_stats is not None:
+                    self._io_stats["bytes_flushed"] += blen
                 pos += blen
         finally:
             self.busy_time += self.sim.now - t0
@@ -204,6 +211,8 @@ class SyncThread:
             return
         self.failures += 1
         self._stat("sync_failures")
+        if self._io_stats is not None:
+            self._io_stats["bytes_lost"] += end - pos
         for stripe in req.stripes:
             self.cache_state.release_stripe(stripe)
         if req.grequest is not None:

@@ -10,10 +10,12 @@ Two byte-identical execution strategies for the simulated I/O data plane
   per-chunk retry scaffolding, and same-instant same-endpoint stripe-run
   flows are coalesced into weighted fabric flows.
 * ``chunked`` — the reference path: every grant, release and chunk is its
-  own kernel event.  Kept selectable for differential testing; it is also
-  forced machine-wide whenever a :class:`~repro.faults.spec.FaultSchedule`
-  is present, so retry/backoff/requeue semantics (and the recorded fault
-  event counts) are untouched by the fast path.
+  own kernel event.  Kept selectable for differential testing.  Under a
+  :class:`~repro.faults.spec.FaultSchedule` the fallback is *scoped*: only
+  components with an attached injector (the targeted SSD, the stalled
+  server, sync threads a fault source can reach) take the chunked path, so
+  retry/backoff/requeue semantics are untouched while everything else keeps
+  the fast path (see :class:`~repro.faults.injector.FaultInjector`).
 
 Every simulated quantity — timestamps, bandwidths, breakdowns, bytes —
 must be identical between the two; only the diagnostic ``events`` count

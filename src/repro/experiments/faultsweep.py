@@ -33,7 +33,7 @@ from repro.faults import FaultSchedule, FaultSpec, JobAborted
 from repro.machine import Machine
 from repro.mpi.process import MPIWorld
 from repro.romio.file import MPIIOLayer
-from repro.sim.core import Interrupt
+from repro.sim.core import DeadlockError, Interrupt
 from repro.units import KiB
 from repro.workloads import collperf_workload, flashio_workload, ior_workload
 from repro.workloads.phases import multi_phase_body
@@ -108,6 +108,7 @@ class FaultExperimentResult:
     faults_injected: int
     checksums: dict = field(default_factory=dict)  # per-file hex digests
     events: int = 0  # kernel events fired in the faulted run
+    invariant_violations: list = field(default_factory=list)  # from the monitor
 
     @property
     def degraded_bw_ratio(self) -> float:
@@ -227,9 +228,20 @@ def run_fault_experiment(
         ref_timings, workload.file_size, include_last_phase=True
     )
 
-    # Faulted run.
+    # Faulted run.  Validate the schedule against the actual cluster shape
+    # before any machine is built — a bad target fails fast as ValueError.
     schedule = FaultSchedule(faults=spec.faults, sync_rpc_timeout=spec.sync_rpc_timeout)
+    schedule.validate(
+        num_nodes=cfg.num_nodes,
+        num_servers=cfg.pfs.num_data_servers,
+        num_ranks=cfg.num_ranks,
+    )
+    # Imported here, not at module top: repro.chaos.runner builds on this
+    # module's helpers, so a top-level import either way would be circular.
+    from repro.chaos.invariants import InvariantMonitor
+
     machine = Machine(cfg, faults=schedule if schedule else None)
+    monitor = InvariantMonitor(machine)
     world = MPIWorld(machine)
     layer = MPIIOLayer(machine, world.comm, driver="beegfs", exchange_mode="model")
     crashed = False
@@ -263,6 +275,15 @@ def run_fault_experiment(
         rec_world.run(recovery_body)
         recovered = True
 
+    # Drain background activity to quiescence, then audit the global
+    # invariants (byte conservation, journal/lock coherence) — a scheduled
+    # fault scenario must uphold them exactly like a chaos schedule.
+    try:
+        monitor.drain()
+    except DeadlockError as exc:
+        monitor.record(f"deadlock: {exc}")
+    monitor.check_quiescent()
+
     checks = _checksums(machine, paths)
     integrity_ok = bool(checks) and checks == ref_checks
     rec_stats = machine.recovery.stats()
@@ -284,6 +305,7 @@ def run_fault_experiment(
         faults_injected=machine.faults.injected if machine.faults else 0,
         checksums=checks,
         events=machine.sim.events_fired,
+        invariant_violations=list(monitor.violations),
     )
 
 

@@ -37,7 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 # e.g. a calibration constant moves out of ClusterConfig, or a cost model is
 # corrected.  Old entries become unreachable (different key) and are never
 # read again.
-CACHE_SCHEMA_VERSION = 1
+# v2: fault results gained invariant_violations and drain-to-quiescence
+# (shifts the diagnostic event count); chaos trial results joined the cache.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

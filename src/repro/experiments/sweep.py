@@ -22,12 +22,20 @@ table to ``--output-dir`` as ``<name>.txt``.
 (:mod:`repro.experiments.faultsweep`): every Table-II hint configuration in
 the matrix runs under injected faults and the exit status is non-zero unless
 every point's recovered/degraded output is byte-identical to its fault-free
-reference::
+reference — and upholds every global invariant::
 
     python -m repro.experiments.sweep --faults --jobs 2 --no-cache
 
+``--chaos`` runs seeded *randomized* fault schedules instead
+(:mod:`repro.chaos`): each seed draws a schedule, runs it on both data
+planes under the invariant monitor, and the first failing seed is greedily
+shrunk to a minimal replayable JSON artifact before the sweep exits
+non-zero::
+
+    python -m repro.experiments.sweep --chaos --seeds 200 --jobs 4
+
 Paper correspondence: drives the §IV sweeps (aggregators × buffer sizes
-× cache modes, plus the fault matrix).
+× cache modes, plus the fault matrix and the chaos harness).
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import chaos
 from repro.experiments import faultsweep, figures
 from repro.experiments.parallel import SweepError, SweepRunner
 from repro.experiments.report import (
@@ -124,17 +133,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=faultsweep.SCENARIOS,
         help="restrict --faults to these scenarios (repeatable; default: all)",
     )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run seeded randomized fault schedules under the invariant "
+        "monitor; failing schedules are shrunk to replayable repro artifacts",
+    )
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        help="number of chaos seeds to run (with --chaos; default: 25)",
+    )
+    p.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first chaos seed (with --chaos; default: 0)",
+    )
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return p
 
 
-def make_runner(args: argparse.Namespace, faults: bool = False) -> SweepRunner:
-    result_cls = faultsweep.FaultExperimentResult if faults else None
+def make_runner(
+    args: argparse.Namespace, faults: bool = False, chaos_mode: bool = False
+) -> SweepRunner:
+    if chaos_mode:
+        result_cls = chaos.ChaosTrialResult
+    elif faults:
+        result_cls = faultsweep.FaultExperimentResult
+    else:
+        result_cls = None
     if args.no_cache:
         cache = ResultCache.disabled(result_cls=result_cls)
     elif args.cache_dir:
         cache = ResultCache(root=args.cache_dir, result_cls=result_cls)
-    elif faults:
+    elif result_cls is not None:
         cache = ResultCache(result_cls=result_cls)
     else:
         cache = None
@@ -149,7 +183,12 @@ def make_runner(args: argparse.Namespace, faults: bool = False) -> SweepRunner:
             print(line, file=sys.stderr, flush=True)
 
     kwargs = {}
-    if faults:
+    if chaos_mode:
+        kwargs.update(
+            worker=chaos.runner._run_chaos_point,
+            resolver=chaos.runner.resolve_chaos_config,
+        )
+    elif faults:
         kwargs.update(
             worker=faultsweep._run_fault_point,
             resolver=faultsweep.resolve_fault_config,
@@ -214,7 +253,8 @@ def run_faults(args: argparse.Namespace, runner: SweepRunner) -> int:
     bad = [r for r in results if not r.integrity_ok]
     crashes = [r for r in results if r.crashed]
     unrecovered = [r for r in crashes if not r.recovered]
-    if bad or unrecovered:
+    violated = [r for r in results if r.invariant_violations]
+    if bad or unrecovered or violated:
         for r in bad:
             print(
                 f"INTEGRITY FAILURE: {r.spec.benchmark}/{r.spec.scenario}: "
@@ -227,8 +267,63 @@ def run_faults(args: argparse.Namespace, runner: SweepRunner) -> int:
                 f"crashed job was never recovered",
                 file=sys.stderr,
             )
+        for r in violated:
+            for v in r.invariant_violations:
+                print(
+                    f"INVARIANT FAILURE: {r.spec.benchmark}/{r.spec.scenario}: {v}",
+                    file=sys.stderr,
+                )
         return 1
     return 0
+
+
+def run_chaos(args: argparse.Namespace, runner: SweepRunner) -> int:
+    scale = args.scale if args.scale is not None else default_scale()
+    benchmarks = tuple(args.benchmark or ("ior",))
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    specs = []
+    for benchmark in benchmarks:
+        specs.extend(chaos.chaos_trial_specs(seeds, scale=scale, benchmark=benchmark))
+    results = runner.run(specs)
+    print(chaos.render_chaos_table(results))
+    failing = [r for r in results if not r.ok]
+    if not failing:
+        return 0
+    out_dir = Path(args.output_dir) if args.output_dir else Path(".")
+    for r in failing:
+        print(
+            f"CHAOS FAILURE: seed {r.spec.seed} ({r.spec.cache_mode}/"
+            f"{r.spec.flush_flag}): outcome={r.outcome} "
+            f"planes_match={r.planes_match} violations={len(r.violations)}",
+            file=sys.stderr,
+        )
+        for v in r.violations[:10]:
+            print(f"  {v}", file=sys.stderr)
+    # Shrink the first failure to a minimal replayable artifact.  The
+    # shrinker re-runs trials in-process (seconds at CI scale).
+    first = failing[0]
+    spec = first.spec
+    reason = (
+        "; ".join(first.violations[:3])
+        or ("plane mismatch: " + ",".join(first.mismatched))
+        or first.outcome
+    )
+    schedule = chaos.runner.schedule_for(spec, chaos.runner.resolve_chaos_config(spec))
+
+    def still_fails(candidate):
+        return not chaos.run_chaos_trial(spec.pinned(candidate)).ok
+
+    shrunk = chaos.shrink_schedule(schedule, still_fails)
+    artifact = out_dir / f"chaos-repro-seed{spec.seed}.json"
+    chaos.write_repro_artifact(
+        artifact, spec, shrunk, reason, result=first.to_dict()
+    )
+    print(
+        f"wrote minimized repro ({len(shrunk.faults)} fault(s)): {artifact}\n"
+        f"replay with: PYTHONPATH=src python -m repro.chaos.replay {artifact}",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def main(argv=None) -> int:
@@ -241,12 +336,14 @@ def main(argv=None) -> int:
             "slower than --jobs 1 (process-pool overhead, no parallelism)",
             file=sys.stderr,
         )
-    runner = make_runner(args, faults=args.faults)
+    runner = make_runner(args, faults=args.faults, chaos_mode=args.chaos)
     scale = args.scale if args.scale is not None else default_scale()
     aggs, cbs = grid(args)
     t0 = time.monotonic()
     try:
-        if args.faults:
+        if args.chaos:
+            status = run_chaos(args, runner)
+        elif args.faults:
             status = run_faults(args, runner)
         elif args.figures:
             status = run_figures(args, runner)

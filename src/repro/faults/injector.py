@@ -67,19 +67,6 @@ class FaultInjector:
         self._ssd_read: dict[int, list[_FaultState]] = {}
         self._stalls: dict[int, list[_FaultState]] = {}
         self._by_event: dict[str, list[_FaultState]] = {}
-        # A fault schedule disables the bulk data plane machine-wide (the
-        # Machine ctor already does this; repeated here so an injector
-        # attached after construction also falls back to the reference
-        # per-chunk path — retry/backoff semantics must never mix with the
-        # fast path).
-        if getattr(machine, "dataplane", None) == "bulk":
-            machine.dataplane = "chunked"
-            machine.pfs.dataplane_bulk = False
-            for node in machine.nodes:
-                node.ssd.fast_path = False
-            for server in machine.pfs.servers:
-                server.fast_path = False
-                server.target.fast_path = False
         self._wire()
 
     # -- wiring ----------------------------------------------------------------
@@ -88,14 +75,24 @@ class FaultInjector:
         for spec in self.schedule.faults:
             self._validate_target(spec, cfg)
             state = _FaultState(spec)
+            # Scoped bulk-dataplane fallback: attaching the injector to a
+            # component is what routes its operations onto the reference
+            # per-chunk path (the serve/_io fast paths bail on a non-None
+            # injector).  Only the targeted SSD/server loses the fast path;
+            # every other component keeps the fused/coalesced plan.  The
+            # fast_path flag is cleared too so the scoping is inspectable.
             if spec.kind == "ssd_io_error":
                 self._ssd_read.setdefault(spec.target, []).append(state)
                 ssd = self.machine.nodes[spec.target].ssd
                 ssd.injector = self
                 ssd.fault_node = spec.target
+                ssd.fast_path = False
             elif spec.kind == "server_stall":
                 self._stalls.setdefault(spec.target, []).append(state)
-                self.machine.pfs.servers[spec.target].injector = self
+                server = self.machine.pfs.servers[spec.target]
+                server.injector = self
+                server.fast_path = False
+                server.target.fast_path = False
             if spec.on_event:
                 self._by_event.setdefault(spec.on_event, []).append(state)
             elif spec.kind in ("ssd_io_error", "server_stall"):
@@ -130,9 +127,22 @@ class FaultInjector:
         """Adopt the current job's rank processes as crash-interrupt targets.
 
         A new world on the same machine (the recovery run) replaces the old,
-        already-dead set.
+        already-dead set — and re-arms the one-teardown-per-job guard, so a
+        crash spec still pending (e.g. armed on ``recovery_replay``) can
+        tear the *new* job down too.  Cascading crashes are exactly this.
         """
         self._rank_procs = list(procs)
+        self.crashed = None
+
+    def sync_faults_possible(self, node_id: int) -> bool:
+        """Can a :class:`FaultError` reach a sync thread on ``node_id``?
+
+        True when this node's SSD reads can fault or the sync RPC watchdog is
+        armed (machine-wide).  Sync threads elsewhere keep the bulk flush
+        loop: no exception source exists on their path, so dropping the
+        retry scaffolding cannot change semantics.
+        """
+        return self.sync_rpc_timeout > 0 or node_id in self._ssd_read
 
     def register_daemon(self, proc: Process) -> None:
         """Register a background process (sync thread) that must be torn down

@@ -22,7 +22,10 @@ the global file afterwards.  This module implements that recovery path:
 Replay is idempotent by construction: a sync request that was mid-flight at
 crash time may have persisted some chunks already, but rewriting the whole
 extent stores identical bytes, so the recovered global file is byte-identical
-to a fault-free run.
+to a fault-free run.  Transient faults that outlive the crash into the
+recovery window (flaky reads, a stalled server tripping the sync-RPC
+watchdog) are retried in place with the sync thread's backoff schedule
+before the error is allowed to abort the recovering rank.
 
 Paper correspondence: none — recovery semantics the paper leaves open
 for its §III cache (journal + replay on next collective open).
@@ -34,7 +37,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.errors import FaultError
 from repro.intervals import IntervalSet
+
+#: Retry discipline for replay writes hit by transient faults — the same
+#: schedule as :class:`~repro.cache.policy.CachePolicy`'s sync-thread
+#: defaults (replay has no per-open policy to read them from).
+_RETRY_LIMIT = 4
+_BACKOFF_BASE = 2e-3
+_BACKOFF_FACTOR = 2.0
 
 
 @dataclass
@@ -112,6 +123,12 @@ class CacheRecoveryRegistry:
             return
         sim = self.machine.sim
         t0 = sim.now
+        # Cascade hook: faults armed on "recovery_replay" (a second crash
+        # landing while the journal is being replayed) trigger from here.
+        injector = getattr(self.machine, "faults", None)
+        if injector is not None:
+            injector.notify("recovery_replay")
+        io_stats = getattr(self.machine, "io_stats", None)
         client = self.machine.pfs_client(rank)
         localfs = self.machine.local_fs[node_id]
         batch_chunks = max(1, cfg.flush_batch_chunks)
@@ -122,15 +139,35 @@ class CacheRecoveryRegistry:
                 batch = journal.sync_chunk * batch_chunks
                 for start, end in journal.unflushed():
                     pos = start
+                    attempts = 0
                     while pos < end:
                         blen = min(batch, end - pos)
                         nchunks = math.ceil(blen / journal.sync_chunk)
-                        data = yield from localfs.read(local_file, pos, blen)
-                        yield from client.write_sync(
-                            fd.pfs_file, pos, blen, data=data, rpc_count=nchunks
-                        )
+                        try:
+                            data = yield from localfs.read(local_file, pos, blen)
+                            yield from client.write_sync(
+                                fd.pfs_file, pos, blen, data=data, rpc_count=nchunks
+                            )
+                        except FaultError:
+                            # A transient window (flaky reads, a stalled
+                            # server tripping the RPC watchdog) can outlive
+                            # the crash into recovery.  Retry with the same
+                            # backoff discipline as the sync thread —
+                            # rewriting is idempotent — and only propagate
+                            # once the budget is spent.
+                            attempts += 1
+                            if attempts <= _RETRY_LIMIT:
+                                backoff = _BACKOFF_BASE * (
+                                    _BACKOFF_FACTOR ** (attempts - 1)
+                                )
+                                yield sim.timeout(backoff)
+                                continue
+                            raise
+                        attempts = 0
                         journal.synced.add(pos, pos + blen)
                         self.bytes_replayed += blen
+                        if io_stats is not None:
+                            io_stats["bytes_replayed"] += blen
                         pos += blen
                     self.extents_replayed += 1
             finally:

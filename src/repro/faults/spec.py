@@ -105,6 +105,71 @@ class FaultSchedule:
     def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
         return tuple(f for f in self.faults if f.kind == kind)
 
+    def validate(
+        self,
+        num_nodes: int | None = None,
+        num_servers: int | None = None,
+        num_ranks: int | None = None,
+    ) -> "FaultSchedule":
+        """Reject schedules that would mis-execute instead of failing fast.
+
+        Checks (each a clear ``ValueError``, raised before any machine is
+        built — the injector's own target checks fire mid-construction and
+        surface as :class:`~repro.sim.core.SimError` deep in a run):
+
+        * node/server/rank targets within the given cluster bounds,
+        * no duplicate ``ssd_device_loss`` on the same node (the second
+          would re-fire on an already read-only device),
+        * event-driven specs name a non-empty event.
+
+        Bounds are only enforced for dimensions the caller provides.
+        Returns ``self`` so callers can chain it.
+        """
+        seen_loss: set[int] = set()
+        for i, spec in enumerate(self.faults):
+            where = f"faults[{i}] ({spec.kind})"
+            # Normally unreachable (FaultSpec's own ctor rejects these), but
+            # kept so a schedule assembled by any other means fails here too.
+            if spec.start < 0 or spec.delay < 0 or spec.duration < 0:
+                raise ValueError(f"{where}: negative trigger time or duration")
+            if spec.kind in ("ssd_io_error", "ssd_device_loss"):
+                if num_nodes is not None and spec.target >= num_nodes:
+                    raise ValueError(
+                        f"{where}: targets node {spec.target}, but the "
+                        f"cluster has {num_nodes} nodes"
+                    )
+            elif spec.kind == "link_degrade":
+                if num_nodes is not None and spec.target >= num_nodes:
+                    raise ValueError(
+                        f"{where}: targets node {spec.target}, but the "
+                        f"cluster has {num_nodes} nodes"
+                    )
+            elif spec.kind == "server_stall":
+                if num_servers is not None and spec.target >= num_servers:
+                    raise ValueError(
+                        f"{where}: targets server {spec.target}, but the "
+                        f"PFS has {num_servers} data servers"
+                    )
+            elif spec.kind == "aggregator_crash":
+                if num_ranks is not None and spec.target >= num_ranks:
+                    raise ValueError(
+                        f"{where}: names rank {spec.target}, but the job "
+                        f"has {num_ranks} ranks"
+                    )
+            if spec.delay > 0 and not spec.on_event:
+                raise ValueError(
+                    f"{where}: delay={spec.delay} has no on_event to anchor "
+                    f"it — use start= for clock-driven triggers"
+                )
+            if spec.kind == "ssd_device_loss":
+                if spec.target in seen_loss:
+                    raise ValueError(
+                        f"{where}: duplicate device loss on node "
+                        f"{spec.target} — the device is already gone"
+                    )
+                seen_loss.add(spec.target)
+        return self
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "faults": [f.to_dict() for f in self.faults],

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import ClusterConfig
-from repro.dataplane import default_dataplane_kind
+from repro.dataplane import DATAPLANE_KINDS, default_dataplane_kind
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import CacheRecoveryRegistry
 from repro.faults.spec import FaultSchedule
@@ -38,6 +38,7 @@ class Machine:
         trace: bool = False,
         faults: Optional[FaultSchedule] = None,
         profiler: Optional[SimProfiler] = None,
+        dataplane: Optional[str] = None,
     ):
         self.config = config
         self.sim = Simulator()
@@ -64,11 +65,30 @@ class Machine:
         # the ADIO degradation path (their owning objects are torn down with
         # each file, so per-thread counters would be lost by run end).
         self.cache_stats = {"retries": 0, "requeues": 0, "sync_failures": 0, "degraded": 0}
-        # Data-plane selection (REPRO_DATAPLANE): the bulk fast path by
-        # default, the per-chunk reference for A/B determinism checks.  Any
-        # fault schedule forces chunked machine-wide so retry/backoff and
-        # the recorded fault event stream are untouched by the fast path.
-        self.dataplane = "chunked" if faults else default_dataplane_kind()
+        # Byte-conservation ledger for the invariant monitor (repro.chaos):
+        # every application byte is counted exactly once on its way through
+        # the cache or the direct path, and cached bytes are counted again
+        # exactly once when they leave (flush / replay / policy discard /
+        # reported loss).  See DESIGN.md §9 for the conservation equations.
+        self.io_stats = {
+            "bytes_app": 0,  # application payload acknowledged by a write path
+            "bytes_cached": 0,  # entered a cache file (write_through_cache)
+            "bytes_direct": 0,  # went straight to the global file
+            "bytes_flushed": 0,  # cache -> global via the sync thread
+            "bytes_replayed": 0,  # cache -> global via crash-recovery replay
+            "bytes_discarded": 0,  # cached under flush_never (never persisted)
+            "bytes_lost": 0,  # reported lost via SyncFailedError
+        }
+        # Data-plane selection: explicit argument, else REPRO_DATAPLANE
+        # (default bulk).  Fault schedules no longer force chunked
+        # machine-wide: the injector scopes the fallback to the components
+        # it actually targets (see FaultInjector._wire), so everything else
+        # keeps the fused/coalesced fast path even in faulted runs.
+        if dataplane is not None and dataplane not in DATAPLANE_KINDS:
+            raise ValueError(
+                f"unknown dataplane {dataplane!r} (expected one of {DATAPLANE_KINDS})"
+            )
+        self.dataplane = dataplane if dataplane is not None else default_dataplane_kind()
         bulk = self.dataplane == "bulk"
         for node in self.nodes:
             node.ssd.fast_path = bulk

@@ -108,10 +108,15 @@ class PFSClient:
         runs = coalesce_target_runs(chunks)
         cfg = self.pfs.cfg
         stripes = f.layout.stripes_covered(offset, nbytes)
-        if locking:
-            for s in stripes:
-                yield from self.pfs.locks.acquire(f.file_id, s, exclusive=True)
+        # Acquisition happens INSIDE the try so an interrupt that lands
+        # mid-loop (aggregator crash) releases exactly the stripes acquired
+        # so far instead of leaking them.
+        held: list[int] = []
         try:
+            if locking:
+                for s in stripes:
+                    yield from self.pfs.locks.acquire(f.file_id, s, exclusive=True)
+                    held.append(s)
             yield self.sim.timeout(cfg.client_rpc_overhead * len(runs))
             subprocs = []
             if self._bulk and len(runs) > 1:
@@ -124,9 +129,8 @@ class PFSClient:
                     subprocs.append(self.sim.process(self._rpc_write(f, run), name="rpc"))
             yield self.sim.all_of(subprocs)
         finally:
-            if locking:
-                for s in stripes:
-                    self.pfs.locks.release(f.file_id, s, exclusive=True)
+            for s in held:
+                self.pfs.locks.release(f.file_id, s, exclusive=True)
         f.record_write(offset, nbytes, data)
         self.bytes_written += nbytes
 
@@ -225,9 +229,11 @@ class PFSClient:
         cfg = self.pfs.cfg
         n_rpcs = max(rpc_count if rpc_count is not None else len(runs), len(runs))
         stripes = f.layout.stripes_covered(offset, nbytes) if locking else ()
-        for s in stripes:
-            yield from self.pfs.locks.acquire(f.file_id, s, exclusive=True)
+        held: list[int] = []
         try:
+            for s in stripes:
+                yield from self.pfs.locks.acquire(f.file_id, s, exclusive=True)
+                held.append(s)
             remaining_rpcs = n_rpcs
             for i, run in enumerate(runs):
                 server = self.pfs.server_for(f, run[0].target)
@@ -260,7 +266,7 @@ class PFSClient:
                             f"exceeded the {watchdog:g}s client timeout"
                         )
         finally:
-            for s in stripes:
+            for s in held:
                 self.pfs.locks.release(f.file_id, s, exclusive=True)
         f.record_write(offset, nbytes, data)
         self.bytes_written += nbytes
@@ -293,9 +299,11 @@ class PFSClient:
         runs = coalesce_target_runs(chunks)
         cfg = self.pfs.cfg
         stripes = f.layout.stripes_covered(offset, nbytes) if locking else ()
-        for s in stripes:
-            yield from self.pfs.locks.acquire(f.file_id, s, exclusive=False)
+        held: list[int] = []
         try:
+            for s in stripes:
+                yield from self.pfs.locks.acquire(f.file_id, s, exclusive=False)
+                held.append(s)
             yield self.sim.timeout(cfg.client_rpc_overhead * len(runs))
             subprocs = []
             if self._bulk and len(runs) > 1:
@@ -308,7 +316,7 @@ class PFSClient:
                     subprocs.append(self.sim.process(self._rpc_read(f, run), name="rpc-r"))
             yield self.sim.all_of(subprocs)
         finally:
-            for s in stripes:
+            for s in held:
                 self.pfs.locks.release(f.file_id, s, exclusive=False)
         self.bytes_read += nbytes
         return f.read_back(offset, nbytes)

@@ -61,7 +61,13 @@ class LockManager:
             return
         self.contended_acquires += 1
         ev = Event(self.sim, name=f"lock:{file_id}:{stripe}")
-        lock.queue.append(_Waiter(exclusive, ev))
+        waiter = _Waiter(exclusive, ev)
+        lock.queue.append(waiter)
+        # Interrupt hook: if the waiting process is torn down (crash faults),
+        # drop the queue entry — or revoke the grant if _wake already handed
+        # the lock to the dying waiter.  Without this an aggregator crash
+        # while queued leaves the stripe permanently held by a dead event.
+        ev.abandon = lambda _ev, lock=lock, waiter=waiter: self._abandon_waiter(lock, waiter)
         yield ev
 
     def release(self, file_id: int, stripe: int, exclusive: bool = True) -> None:
@@ -84,6 +90,27 @@ class LockManager:
             return True
         return False
 
+    def snapshot(self) -> list[dict]:
+        """Every non-idle stripe lock, for invariant checking.
+
+        Returns dicts with ``file_id``/``stripe``/``writer``/``readers``/
+        ``queued`` so a monitor can assert lock-state consistency (e.g. no
+        stripe both write- and read-held, no waiters left at quiescence).
+        """
+        out = []
+        for (fid, stripe), lock in self._locks.items():
+            if lock.writer or lock.readers or lock.queue:
+                out.append(
+                    {
+                        "file_id": fid,
+                        "stripe": stripe,
+                        "writer": lock.writer,
+                        "readers": lock.readers,
+                        "queued": len(lock.queue),
+                    }
+                )
+        return out
+
     def held(self, file_id: int, stripe: int) -> str:
         lock = self._locks.get((file_id, stripe))
         if lock is None or (not lock.writer and lock.readers == 0):
@@ -103,6 +130,17 @@ class LockManager:
             lock.writer = True
         else:
             lock.readers += 1
+
+    def _abandon_waiter(self, lock: _StripeLock, waiter: _Waiter) -> None:
+        if waiter.event._triggered:
+            # Granted but never consumed: revoke and pass the lock on.
+            if waiter.exclusive:
+                lock.writer = False
+            else:
+                lock.readers -= 1
+            self._wake(lock)
+        else:
+            lock.queue.remove(waiter)
 
     def _wake(self, lock: _StripeLock) -> None:
         while lock.queue:

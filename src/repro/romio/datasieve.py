@@ -51,11 +51,13 @@ def write_strided(fd: ADIOFile, rank: int, access: RankAccess, prof: Profiler):
             # Sieve: read-modify-write the whole window under a write lock.
             t0 = prof.mark()
             stripes = fd.pfs_file.layout.stripes_covered(pos, window)
-            for s in stripes:
-                yield from fd.machine.pfs.locks.acquire(
-                    fd.pfs_file.file_id, s, exclusive=True
-                )
+            held = []
             try:
+                for s in stripes:
+                    yield from fd.machine.pfs.locks.acquire(
+                        fd.pfs_file.file_id, s, exclusive=True
+                    )
+                    held.append(s)
                 old = yield from client.read(fd.pfs_file, pos, window)
                 merged = None
                 if access.data is not None:
@@ -76,8 +78,12 @@ def write_strided(fd: ADIOFile, rank: int, access: RankAccess, prof: Profiler):
                     fd.pfs_file, pos, window, data=merged, locking=False
                 )
                 written += ws.nbytes
+                io_stats = getattr(fd.machine, "io_stats", None)
+                if io_stats is not None:
+                    io_stats["bytes_app"] += ws.nbytes
+                    io_stats["bytes_direct"] += ws.nbytes
             finally:
-                for s in stripes:
+                for s in held:
                     fd.machine.pfs.locks.release(fd.pfs_file.file_id, s, exclusive=True)
             prof.lap("write", t0)
         pos = hi

@@ -33,6 +33,35 @@ class SimError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
 
 
+class DeadlockError(SimError):
+    """The simulation can make no further progress but processes still wait.
+
+    Raised instead of the bare "event list empty" :class:`SimError` when a
+    process registry is attached (chaos/invariant runs): carries a diagnosed
+    list of ``(process name, wait reason)`` pairs so a simulated-time
+    deadlock reads like a stack dump instead of a silent hang.
+    """
+
+    def __init__(self, message: str, blocked: list[tuple[str, str]] | None = None):
+        super().__init__(message)
+        self.blocked = blocked or []
+
+
+def describe_blocked(registry) -> list[tuple[str, str]]:
+    """``(name, wait reason)`` for every live process in a registry."""
+    out = []
+    for proc in registry:
+        if not proc.is_alive:
+            continue
+        target = proc._target
+        if target is None:
+            reason = "running (no wait target)"
+        else:
+            reason = f"waiting on {target.name or type(target).__name__}"
+        out.append((proc.name, reason))
+    return out
+
+
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`.
 
@@ -52,7 +81,11 @@ class Event:
     and resumes its waiters.  Callbacks receive the event itself.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired", "name")
+    # ``abandon`` is an optional hook slot, deliberately left uninitialized on
+    # the hot path: a resource/lock layer that queued a waiter event stores a
+    # cleanup callable here, and :meth:`Process.interrupt` invokes it so an
+    # interrupted waiter never leaves an orphaned queue entry or leaked slot.
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired", "name", "abandon")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -198,6 +231,8 @@ class Process(Event):
         self.gen = gen
         self._target: Optional[Event] = None
         self._defunct = False
+        if sim.process_registry is not None:
+            sim.process_registry[self] = None
         # Bootstrap: resume the generator at time now (pooled kick).
         boot = sim._kick("init")
         boot.callbacks.append(self._resume)
@@ -213,14 +248,24 @@ class Process(Event):
             return
         # Detach from whatever the process was waiting on.
         target = self._target
-        if target is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target is not None:
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            hook = getattr(target, "abandon", None)
+            if hook is not None:
+                target.abandon = None
+                hook(target)
         self._target = None
         kick = self.sim._kick("interrupt")
         kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
         kick.succeed()
 
     # -- internal -----------------------------------------------------------
+    def _unregister(self) -> None:
+        reg = self.sim.process_registry
+        if reg is not None:
+            reg.pop(self, None)
+
     def _resume(self, event: Event) -> None:
         self._target = None
         if event._ok:
@@ -239,16 +284,19 @@ class Process(Event):
                 target = self.gen.send(send)
         except StopIteration as stop:
             self._defunct = True
+            self._unregister()
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self._defunct = True
+            self._unregister()
             self.fail(exc)
             return
         finally:
             self.sim.active_process = None
         if not isinstance(target, Event):
             self._defunct = True
+            self._unregister()
             self.fail(SimError(f"process {self.name!r} yielded {target!r}, expected an Event"))
             return
         if target._fired:
@@ -345,6 +393,10 @@ class Simulator:
         # Opt-in engine instrumentation (see repro.sim.profile.SimProfiler);
         # a plain attribute so attaching costs nothing when unused.
         self.profiler = None
+        # Opt-in process registry (ordered dict used as a set).  When a dict
+        # is attached before processes are created, every Process registers
+        # itself and deadlock reports can name who is blocked and on what.
+        self.process_registry: Optional[dict] = None
 
     # -- construction helpers ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -429,9 +481,7 @@ class Simulator:
             sentinel = until
             while not sentinel._fired:
                 if not self._heap:
-                    raise SimError(
-                        f"deadlock: event list empty but {sentinel!r} never fired"
-                    )
+                    raise self._deadlock(sentinel)
                 self.step()
             if sentinel._ok:
                 return sentinel._value
@@ -442,6 +492,22 @@ class Simulator:
         if until is not None and self.now < deadline:
             self.now = deadline
         return None
+
+    def _deadlock(self, sentinel: Event) -> SimError:
+        """Build the error for an empty event list with ``sentinel`` unfired.
+
+        With a process registry attached this is a diagnosed
+        :class:`DeadlockError` naming each blocked process and its wait
+        target; without one, the historical bare :class:`SimError`.
+        """
+        msg = f"deadlock: event list empty but {sentinel!r} never fired"
+        if self.process_registry is None:
+            return SimError(msg)
+        blocked = describe_blocked(self.process_registry)
+        if blocked:
+            detail = "; ".join(f"{name}: {reason}" for name, reason in blocked)
+            msg = f"{msg} — blocked processes: {detail}"
+        return DeadlockError(msg, blocked)
 
     @property
     def events_fired(self) -> int:

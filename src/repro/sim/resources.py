@@ -38,6 +38,7 @@ class Resource:
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         self._acq_name = "acquire:" + name  # precomputed: request() is hot
+        self._abandon_cb = self._abandon_request  # bound once: request() is hot
 
     @property
     def in_use(self) -> int:
@@ -54,7 +55,20 @@ class Resource:
             ev.succeed()
         else:
             self._waiters.append(ev)
+        ev.abandon = self._abandon_cb
         return ev
+
+    def _abandon_request(self, ev: Event) -> None:
+        """Interrupt hook: undo a pending or granted-but-unfired request.
+
+        Without this, interrupting a queued requester leaves its event in
+        ``_waiters``; a later :meth:`release` would transfer the slot to the
+        dead event and the resource would be held forever.
+        """
+        if ev._triggered:
+            self.release()
+        else:
+            self._waiters.remove(ev)
 
     def try_acquire(self) -> bool:
         """Take a slot synchronously if one is free *and* nobody is queued.
@@ -106,6 +120,7 @@ class Store:
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._get_name = "get:" + name
+        self._abandon_cb = self._abandon_get  # bound once: get() is hot
 
     def __len__(self) -> int:
         return len(self._items)
@@ -122,7 +137,19 @@ class Store:
             ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
+        ev.abandon = self._abandon_cb
         return ev
+
+    def _abandon_get(self, ev: Event) -> None:
+        """Interrupt hook: return an undelivered item or dequeue the getter."""
+        if ev._triggered:
+            # The item was already popped for this getter; put it back at the
+            # head (it was logically first) and hand it to the next getter.
+            self._items.appendleft(ev._value)
+            if self._getters:
+                self._getters.popleft().succeed(self._items.popleft())
+        else:
+            self._getters.remove(ev)
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking pop; None when empty."""

@@ -31,6 +31,12 @@ class TraceRecord:
     detail: dict[str, Any] = field(default_factory=dict)
 
 
+#: Chrome-trace reserved color names for notable categories: injected
+#: faults pop out red and recovery/replay activity green against the
+#: default palette, so a faulted timeline reads at a glance.
+CATEGORY_COLORS = {"faults": "terrible", "recovery": "good"}
+
+
 class Tracer:
     def __init__(self, enabled: bool = False, max_records: Optional[int] = None):
         self.enabled = enabled
@@ -68,8 +74,9 @@ class Tracer:
         its counters and component timers into the same view (a
         ``profiler`` track plus an ``otherData.profiler`` summary block).
         """
-        events = [
-            {
+        events = []
+        for rec in self.records:
+            event: dict[str, Any] = {
                 "name": rec.event,
                 "cat": rec.component,
                 "ph": "i",
@@ -79,8 +86,10 @@ class Tracer:
                 "tid": rec.component,
                 "args": rec.detail,
             }
-            for rec in self.records
-        ]
+            cname = CATEGORY_COLORS.get(rec.component)
+            if cname is not None:
+                event["cname"] = cname
+            events.append(event)
         other: dict[str, Any] = {"dropped_records": self.dropped}
         if profiler is not None:
             events.extend(profiler.to_chrome_trace_events())

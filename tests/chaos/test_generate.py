@@ -1,0 +1,97 @@
+"""Schedule generator: determinism, survivability bounds, validation."""
+
+import pytest
+
+from repro.chaos import ChaosConfig, generate_schedule
+from repro.faults.spec import FaultSchedule, FaultSpec
+
+CFG = ChaosConfig()
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert generate_schedule(CFG, 7) == generate_schedule(CFG, 7)
+
+    def test_seeds_draw_different_schedules(self):
+        schedules = {generate_schedule(CFG, s) for s in range(20)}
+        assert len(schedules) > 10  # collisions allowed, monoculture is not
+
+    def test_schedule_is_serializable_roundtrip(self):
+        schedule = generate_schedule(CFG, 3)
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+class TestBounds:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_draws_stay_survivable(self, seed):
+        schedule = generate_schedule(CFG, seed)
+        assert 1 <= len(schedule.faults) <= CFG.max_faults + 2  # + crash + cascade
+        lost = set()
+        for f in schedule.faults:
+            if f.kind == "aggregator_crash":
+                # Crashes are event-anchored, never clock-driven: the
+                # reference checksums stay a valid oracle only because every
+                # application write has been acknowledged before the crash.
+                assert f.on_event in (f"write_done:{CFG.num_files - 1}", "recovery_replay")
+                assert f.delay > 0
+                assert f.target < CFG.num_ranks
+                continue
+            assert CFG.start_min <= f.start < CFG.horizon
+            if f.kind == "ssd_device_loss":
+                assert f.target not in lost  # validate() would reject a dup
+                lost.add(f.target)
+                continue
+            assert CFG.min_window <= f.duration <= CFG.max_window
+            if f.kind == "ssd_io_error":
+                assert CFG.min_error_rate <= f.rate <= CFG.max_error_rate
+            if f.kind == "link_degrade":
+                assert 0.2 <= f.factor <= 0.9
+        if schedule.sync_rpc_timeout:
+            assert any(f.kind == "server_stall" for f in schedule.faults)
+
+    def test_cascade_only_follows_a_primary_crash(self):
+        for seed in range(50):
+            crashes = generate_schedule(CFG, seed).of_kind("aggregator_crash")
+            if any(c.on_event == "recovery_replay" for c in crashes):
+                assert any(c.on_event.startswith("write_done:") for c in crashes)
+
+
+class TestScheduleValidation:
+    def test_node_target_out_of_range(self):
+        bad = FaultSchedule.of(FaultSpec("ssd_io_error", target=9, start=0.01))
+        with pytest.raises(ValueError, match="targets node 9"):
+            bad.validate(num_nodes=4)
+
+    def test_server_target_out_of_range(self):
+        bad = FaultSchedule.of(FaultSpec("server_stall", target=4, start=0.01))
+        with pytest.raises(ValueError, match="targets server 4"):
+            bad.validate(num_servers=4)
+
+    def test_crash_rank_out_of_range(self):
+        bad = FaultSchedule.of(
+            FaultSpec("aggregator_crash", target=8, on_event="write_done:0")
+        )
+        with pytest.raises(ValueError, match="names rank 8"):
+            bad.validate(num_ranks=8)
+
+    def test_duplicate_device_loss_rejected(self):
+        bad = FaultSchedule.of(
+            FaultSpec("ssd_device_loss", target=1, start=0.01),
+            FaultSpec("ssd_device_loss", target=1, start=0.02),
+        )
+        with pytest.raises(ValueError, match="duplicate device loss"):
+            bad.validate(num_nodes=4)
+
+    def test_delay_without_anchor_event_rejected(self):
+        bad = FaultSchedule.of(FaultSpec("aggregator_crash", delay=0.01))
+        with pytest.raises(ValueError, match="no on_event to anchor"):
+            bad.validate()
+
+    def test_negative_time_caught_even_bypassing_the_ctor(self):
+        spec = FaultSpec("ssd_io_error", start=0.01)
+        object.__setattr__(spec, "start", -1.0)  # simulate a hand-built spec
+        with pytest.raises(ValueError, match="negative trigger time"):
+            FaultSchedule.of(spec).validate()
+
+    def test_unbounded_dimensions_are_not_checked(self):
+        FaultSchedule.of(FaultSpec("ssd_io_error", target=99, start=0.01)).validate()

@@ -1,9 +1,11 @@
-"""Bulk-transfer fast path: kind selection, fault fallback, equivalence.
+"""Bulk-transfer fast path: kind selection, scoped fault fallback, equivalence.
 
 The bulk data plane must be invisible in every simulated quantity — only
-the diagnostic event count may change — and must never engage while a
-fault injector is live (the retry/requeue scaffolding it drops is exactly
-what faults exercise).
+the diagnostic event count may change.  Under a fault schedule the
+fallback to the per-chunk reference path is *scoped*: only the components
+an injector is attached to (whose retry/requeue scaffolding faults
+actually exercise) take the chunked path; everything else keeps the fast
+path.
 """
 
 import pytest
@@ -47,17 +49,37 @@ class TestKindSelection:
         assert all(s.fast_path and s.target.fast_path for s in m.pfs.servers)
         assert m.pfs.dataplane_bulk
 
-    def test_faults_force_chunked(self, monkeypatch):
-        """Any active fault schedule disables the fast path machine-wide."""
+    def test_faults_scope_chunked_to_targets(self, monkeypatch):
+        """A fault schedule demotes only the targeted components to chunked."""
         monkeypatch.setenv("REPRO_DATAPLANE", "bulk")
         sched = FaultSchedule.of(
-            FaultSpec("ssd_io_error", target=0, start=5.0, duration=0.1, rate=1.0)
+            FaultSpec("ssd_io_error", target=0, start=5.0, duration=0.1, rate=1.0),
+            FaultSpec("server_stall", target=1, start=5.0, duration=0.01),
         )
         m = Machine(small_testbed(), faults=sched)
+        assert m.dataplane == "bulk"
+        # Targeted components: injector attached, fast path off.
+        assert m.nodes[0].ssd.injector is m.faults
+        assert not m.nodes[0].ssd.fast_path
+        assert m.pfs.servers[1].injector is m.faults
+        assert not m.pfs.servers[1].fast_path
+        assert not m.pfs.servers[1].target.fast_path
+        # Everything else keeps the fused/coalesced plan.
+        assert all(node.ssd.fast_path for node in m.nodes[1:])
+        assert all(
+            s.fast_path and s.target.fast_path
+            for s in m.pfs.servers
+            if s.server_id != 1
+        )
+        assert m.pfs.dataplane_bulk
+
+    def test_explicit_dataplane_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATAPLANE", "bulk")
+        m = Machine(small_testbed(), dataplane="chunked")
         assert m.dataplane == "chunked"
         assert not any(node.ssd.fast_path for node in m.nodes)
-        assert not any(s.fast_path or s.target.fast_path for s in m.pfs.servers)
-        assert not m.pfs.dataplane_bulk
+        with pytest.raises(ValueError):
+            Machine(small_testbed(), dataplane="turbo")
 
 
 class TestEquivalence:
@@ -123,13 +145,18 @@ def _run_faulted_sync(kind, monkeypatch):
 
 class TestFaultedSyncIdentical:
     def test_bulk_request_under_faults_matches_chunked(self, monkeypatch):
-        """With an injector live, REPRO_DATAPLANE=bulk falls back to the
+        """With an injector on this node, the sync thread falls back to the
         chunked service loop: retry counts, requeue counts, journal marks
-        and event trace all come out identical to an explicit chunked run.
+        and every simulated quantity come out identical to an explicit
+        chunked run.  Untargeted components keep the fast path, so only
+        the diagnostic event count may (and does) drop.
         """
         asked_bulk = _run_faulted_sync("bulk", monkeypatch)
         chunked = _run_faulted_sync("chunked", monkeypatch)
+        bulk_events = asked_bulk.pop("events")
+        chunked_events = chunked.pop("events")
         assert asked_bulk == chunked
+        assert bulk_events < chunked_events
         # The fault really did land mid-window (otherwise this test is vacuous).
         assert chunked["retries"] > 0
         assert chunked["outcome"] == "ok"

@@ -23,6 +23,13 @@ the recompute work the fast path removes, and ``--dataplane chunked``
 against the default bulk data plane to see the per-chunk event traffic the
 bulk-transfer fast path removes (docs/PERFORMANCE.md walks through both).
 The profiler never changes simulation results — only observes.
+
+``--chaos-seed N`` profiles a :mod:`repro.chaos` trial instead: the traced
+timeline then carries the injected fault and recovery/replay instant
+events (color-coded in the Chrome trace — faults red, recovery green)::
+
+    PYTHONPATH=src python tools/profile_sweep.py --chaos-seed 4 \\
+        --cache-mode coherent --trace chaos4.trace.json
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import pstats
 import sys
 import time
 
+from repro.chaos.runner import CHAOS_CACHE_MODES
 from repro.dataplane import DATAPLANE_KINDS
 from repro.experiments.runner import BENCHMARKS, CACHE_MODES, ExperimentSpec
 from repro.net.fabric import FABRIC_KINDS
@@ -50,7 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="ior", choices=BENCHMARKS)
     p.add_argument("--aggregators", type=int, default=64)
     p.add_argument("--cb-mib", type=int, default=4, help="collective buffer (MiB)")
-    p.add_argument("--cache-mode", default="enabled", choices=CACHE_MODES)
+    p.add_argument(
+        "--cache-mode",
+        default="enabled",
+        choices=sorted(set(CACHE_MODES) | set(CHAOS_CACHE_MODES)),
+        help="sweep points accept %s; chaos trials accept %s"
+        % ("/".join(CACHE_MODES), "/".join(CHAOS_CACHE_MODES)),
+    )
     p.add_argument("--scale", type=float, default=0.03125)
     p.add_argument(
         "--fabric",
@@ -75,11 +89,91 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", default=None, metavar="PATH", help="write the summary JSON"
     )
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile a chaos trial for this seed instead of a sweep point "
+        "(fault/recovery events land in the --trace timeline)",
+    )
     return p
+
+
+def run_chaos_point(args: argparse.Namespace) -> int:
+    """Profile one chaos trial; the traced timeline carries fault events."""
+    from repro.chaos import ChaosTrialSpec, run_chaos_trial
+
+    if args.cache_mode not in CHAOS_CACHE_MODES:
+        raise SystemExit(
+            f"--chaos-seed supports --cache-mode {'/'.join(CHAOS_CACHE_MODES)}, "
+            f"not {args.cache_mode!r}"
+        )
+
+    profiler = SimProfiler()
+    spec = ChaosTrialSpec(
+        seed=args.chaos_seed,
+        benchmark=args.benchmark,
+        cache_mode=args.cache_mode,
+        scale=args.scale,
+    )
+    os.environ["REPRO_FABRIC"] = args.fabric
+    try:
+        prof = cProfile.Profile() if args.cprofile else None
+        t0 = time.perf_counter()
+        if prof is not None:
+            prof.enable()
+        result = run_chaos_trial(spec, trace=True, profiler=profiler)
+        if prof is not None:
+            prof.disable()
+        wall = time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_FABRIC", None)
+
+    tracer = result.tracers["bulk"]
+    fault_events = sum(1 for _ in tracer.filter(component="faults"))
+    recovery_events = sum(1 for _ in tracer.filter(component="recovery"))
+    summary = {
+        "spec": {
+            "benchmark": spec.benchmark,
+            "chaos_seed": spec.seed,
+            "cache_mode": spec.cache_mode,
+            "scale": spec.scale,
+            "fabric": args.fabric,
+        },
+        "wall_s": wall,
+        "outcome": result.outcome,
+        "ok": result.ok,
+        "violations": result.violations,
+        "events_bulk": result.events_bulk,
+        "events_chunked": result.events_chunked,
+        "trace_fault_events": fault_events,
+        "trace_recovery_events": recovery_events,
+        "profiler": profiler.snapshot(),
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.trace:
+        tracer.write_chrome_trace(args.trace, profiler=profiler)
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if prof is not None:
+        stats = pstats.Stats(prof, stream=sys.stderr).sort_stats("tottime")
+        stats.print_stats(args.cprofile)
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.chaos_seed is not None:
+        return run_chaos_point(args)
+    if args.cache_mode not in CACHE_MODES:
+        raise SystemExit(
+            f"sweep points support --cache-mode {'/'.join(CACHE_MODES)}, "
+            f"not {args.cache_mode!r} (chaos-only; pass --chaos-seed)"
+        )
     spec = ExperimentSpec(
         benchmark=args.benchmark,
         aggregators=args.aggregators,
