@@ -1,0 +1,134 @@
+"""Compare bench_engine reports against committed baselines — the CI gate.
+
+``bench-smoke`` runs ``benchmarks/bench_engine.py --quick`` (which already
+exits non-zero on any A/B divergence) and then this script, which turns the
+written reports into a *regression* gate against numbers committed in
+``benchmarks/baseline_quick.json``:
+
+* **events-fired counts, exactly** — the simulation is deterministic, so
+  the quick grid fires a bit-reproducible number of events per engine,
+  allocator and dataplane.  Any drift means the simulated schedule changed
+  and the baseline must be re-recorded deliberately in the same PR.
+* **events/s, with generous floors** — shared CI runners are slow and
+  noisy, so throughput floors sit ~5x below the reference box; they catch
+  an order-of-magnitude dispatch regression (e.g. losing the slotted fast
+  lane) without flaking on runner weather.
+* **report ``ok`` flags** — belt and braces; bench_engine already failed
+  the build if these are false.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick
+    python benchmarks/check_bench.py           # reads the default filenames
+
+    python benchmarks/check_bench.py --engine BENCH_engine.json \\
+        --dataplane BENCH_dataplane.json --baseline benchmarks/baseline_quick.json
+
+Exit status is non-zero on any mismatch, with one ``FAIL:`` line per
+finding on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check_events_exact(baseline: dict, reports: dict, failures: list[str]) -> None:
+    """Exact events-fired comparison for every section/kind in the baseline."""
+    sections = {
+        "scheduler_microbench": ("engine", "scheduler_microbench"),
+        "engine_grid_ab": ("engine", "engine_grid_ab"),
+        "grid_ab": ("engine", "grid_ab"),
+        "dataplane_grid_ab": ("dataplane", "grid_ab"),
+    }
+    for name, expected_kinds in baseline["events_fired"].items():
+        which, key = sections[name]
+        section = reports[which].get(key)
+        if section is None:
+            failures.append(f"{name}: section {key!r} missing from report")
+            continue
+        for kind, expected in expected_kinds.items():
+            got = section.get(kind, {}).get("events_fired")
+            if got != expected:
+                failures.append(
+                    f"{name}.{kind}: events_fired {got} != baseline {expected}"
+                )
+
+
+def check_throughput_floors(
+    baseline: dict, reports: dict, failures: list[str]
+) -> None:
+    floors = baseline["events_per_sec_floors"]
+    sched = reports["engine"].get("scheduler_microbench", {})
+    for kind, floor in floors.get("scheduler_microbench", {}).items():
+        got = sched.get(kind, {}).get("events_per_sec", 0.0)
+        if got < floor:
+            failures.append(
+                f"scheduler_microbench.{kind}: {got:.0f} ev/s < floor {floor}"
+            )
+    ratio_min = floors.get("scheduler_ratio_min")
+    if ratio_min is not None:
+        ratio = sched.get("events_per_sec_ratio", 0.0)
+        if ratio < ratio_min:
+            failures.append(
+                f"scheduler_microbench ratio {ratio:.2f}x < floor {ratio_min}x"
+            )
+    eng = reports["engine"].get("engine_grid_ab", {})
+    for kind, floor in floors.get("engine_grid_ab", {}).items():
+        got = eng.get(kind, {}).get("events_per_sec", 0.0)
+        if got < floor:
+            failures.append(f"engine_grid_ab.{kind}: {got:.0f} ev/s < floor {floor}")
+
+
+def check_ok_flags(reports: dict, failures: list[str]) -> None:
+    for which, report in reports.items():
+        if not report.get("ok", False):
+            failures.append(
+                f"{which} report not ok: {', '.join(report.get('failures', ['?']))}"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/check_bench.py",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--engine", default="BENCH_engine.json")
+    parser.add_argument("--dataplane", default="BENCH_dataplane.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline_quick.json")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    reports = {}
+    with open(args.engine) as fh:
+        reports["engine"] = json.load(fh)
+    with open(args.dataplane) as fh:
+        reports["dataplane"] = json.load(fh)
+
+    for which, report in reports.items():
+        if report.get("mode") != baseline["mode"]:
+            print(
+                f"note: {which} report mode {report.get('mode')!r} != baseline "
+                f"{baseline['mode']!r}; exact-count checks assume the "
+                f"{baseline['mode']} grid",
+                file=sys.stderr,
+            )
+
+    failures: list[str] = []
+    check_ok_flags(reports, failures)
+    check_events_exact(baseline, reports, failures)
+    check_throughput_floors(baseline, reports, failures)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: all baseline checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,7 +84,14 @@ class SyncThread:
             inj is None
             or not inj.sync_faults_possible(rank // machine.config.procs_per_node)
         )
-        self._proc = self.sim.process(self._run(), name=f"syncthread.r{rank}")
+        # Flat service loop (slotted engine): the read/write chain runs as
+        # event callbacks instead of nested generator frames.  Requires the
+        # bulk fast loop AND no fault schedule at all — a flat chain cannot
+        # be interrupted mid-flight, and serve_write_event needs every
+        # server injector-free (sync_faults_possible only covers this node).
+        self._flat = self.sim.flat and self._bulk and inj is None
+        body = self._run_flat() if self._flat else self._run()
+        self._proc = self.sim.process(body, name=f"syncthread.r{rank}")
         if inj is not None:
             inj.register_daemon(self._proc)
 
@@ -113,6 +120,50 @@ class SyncThread:
             # The job was torn down (aggregator crash).  The cache file and
             # its journal survive; recovery replays unflushed extents on the
             # next open.  Returning cleanly parks this daemon.
+            return
+
+    def _run_flat(self):
+        """Flat-engine thread body: one shallow generator whose yields are
+        the composite Events of the flattened localfs/PFS fast paths
+        (:meth:`LocalFileSystem.read_event`, :meth:`PFSClient.write_sync_flat`)
+        — two process resumes per batch instead of a resume per frame of
+        the read/write generator stack.  Same reads, writes, journal marks
+        and counters as :meth:`_service_fast`, in the same event-callback
+        positions (the flat helpers fire inline where the generator's
+        caller would resume)."""
+        cfg = self.machine.config
+        chunk = self.policy.sync_chunk
+        batch_chunks = max(1, cfg.flush_batch_chunks)
+        try:
+            while True:
+                req: SyncRequest = yield self.queue.get()
+                if req.shutdown or req.grequest is None:
+                    return
+                t0 = self.sim.now
+                pos = req.offset
+                end = req.offset + req.nbytes
+                try:
+                    while pos < end:
+                        blen = min(chunk * batch_chunks, end - pos)
+                        nchunks = math.ceil(blen / chunk)
+                        data = yield self.localfs.read_event(
+                            self.cache_state.local_file, pos, blen
+                        )
+                        yield self.client.write_sync_flat(
+                            self.global_file, pos, blen, data=data, rpc_count=nchunks
+                        )
+                        self.cache_state.mark_synced(pos, blen)
+                        self.bytes_synced += blen
+                        if self._io_stats is not None:
+                            self._io_stats["bytes_flushed"] += blen
+                        pos += blen
+                finally:
+                    self.busy_time += self.sim.now - t0
+                self.requests_done += 1
+                for stripe in req.stripes:
+                    self.cache_state.release_stripe(stripe)
+                req.grequest.complete()
+        except Interrupt:
             return
 
     def _service(self, req: SyncRequest):

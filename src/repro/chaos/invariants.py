@@ -102,7 +102,7 @@ class InvariantMonitor:
             yield sim.timeout(self.interval)
             self.ticks += 1
             self.check_running()
-            if not sim._heap:
+            if not sim.pending:
                 blocked = self._blocked()
                 if blocked:
                     raise self._deadlock(blocked)
@@ -134,7 +134,7 @@ class InvariantMonitor:
         that is a deadlock: raise the diagnosed error.
         """
         sim = self.sim
-        while sim._heap:
+        while sim.pending:
             try:
                 sim.run()
             except DeadlockError:

@@ -100,6 +100,39 @@ class StorageDevice:
         finally:
             self.queue.release()
 
+    # flat API -------------------------------------------------------------------
+    def io_flat(self, offset: int, nbytes: int, is_write: bool, on_done) -> None:
+        """Flat state-machine variant of :meth:`_io` (``sim.flat`` chains).
+
+        Caller gates on ``self.injector is None`` (no fault hook to run, so
+        the grant/service/release sequence is fully determined).  Every
+        accounting step — grant, service-time draw, stream-table update,
+        counters, release — runs in the *same event callback* as the
+        generator version would, so the two paths are schedule-identical;
+        ``on_done()`` is invoked where the generator's caller would resume.
+        """
+        if self.fast_path and self.queue.try_acquire():
+            self._io_serve(offset, nbytes, is_write, on_done)
+            return
+        req = self.queue.request()
+        req.callbacks.append(
+            lambda _ev: self._io_serve(offset, nbytes, is_write, on_done)
+        )
+
+    def _io_serve(self, offset: int, nbytes: int, is_write: bool, on_done) -> None:
+        dt = self.service_time(offset, nbytes, is_write)
+        self.busy_time += dt
+        self.requests_served += 1
+        if is_write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        def _served():
+            self.queue.release()
+            on_done()
+
+        self.sim.call_later(dt, _served)
+
 
 class HDDRaidDevice(StorageDevice):
     """One parallel-FS storage target: RAID6 group of spinning drives."""

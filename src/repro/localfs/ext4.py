@@ -31,7 +31,7 @@ import numpy as np
 from repro.faults.errors import DeviceLostError
 from repro.hw.node import ComputeNode
 from repro.intervals import IntervalSet
-from repro.sim.core import SimError
+from repro.sim.core import Event, SimError
 
 
 class ENOSPC(OSError):
@@ -190,6 +190,40 @@ class LocalFileSystem:
         if uncached:
             yield from self.node.ssd.read(offset + cached, uncached)
         return self._gather(f, offset, nbytes)
+
+    def read_event(self, f: LocalFile, offset: int, nbytes: int) -> Event:
+        """Flat variant of :meth:`read` for ``sim.flat`` chains.
+
+        Returns an Event whose value is the requested bytes, fired inline in
+        the callback of the last underlying wait — exactly where the
+        generator's caller would resume.  Caller gates on
+        ``node.ssd.injector is None`` and ``nbytes > 0``.
+        """
+        if offset + nbytes > f.size and not f.extents and f.size == 0:
+            raise SimError(f"read past EOF of empty file {f.path}")
+        dirty = self.node.page_cache.dirty_of(f.file_id)
+        frac_cached = min(1.0, dirty / max(1, f.space.total or f.size))
+        cached = int(nbytes * frac_cached)
+        uncached = nbytes - cached
+        if not cached and not uncached:
+            raise SimError("read_event requires nbytes > 0")
+        done = Event(self.sim, name="lfs-read")
+
+        def _finish():
+            done._fire_inline(self._gather(f, offset, nbytes))
+
+        ssd = self.node.ssd
+        if cached:
+            if uncached:
+                self.sim.call_later(
+                    cached / self.node.config.ram.memcpy_bw,
+                    lambda: ssd.io_flat(offset + cached, uncached, False, _finish),
+                )
+            else:
+                self.sim.call_later(cached / self.node.config.ram.memcpy_bw, _finish)
+        else:
+            ssd.io_flat(offset + cached, uncached, False, _finish)
+        return done
 
     def fsync(self, f: LocalFile):
         return self.node.page_cache.fsync(f.file_id)

@@ -25,7 +25,7 @@ from repro.localfs.ext4 import LocalFileSystem
 from repro.net.fabric import create_fabric
 from repro.pfs.client import PFSClient
 from repro.pfs.filesystem import ParallelFileSystem
-from repro.sim.core import Simulator
+from repro.sim.core import create_simulator
 from repro.sim.profile import SimProfiler
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
@@ -41,7 +41,10 @@ class Machine:
         dataplane: Optional[str] = None,
     ):
         self.config = config
-        self.sim = Simulator()
+        # Engine selection (REPRO_ENGINE): the slotted calendar-queue engine
+        # by default, the heapq reference for A/B determinism checks — see
+        # docs/PERFORMANCE.md ("The slotted scheduler").
+        self.sim = create_simulator()
         self.sim.profiler = profiler
         self.rng = RngStreams(config.seed)
         self.tracer = Tracer(enabled=trace)

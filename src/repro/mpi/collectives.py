@@ -193,6 +193,42 @@ class ModelCollectives:
         cost has been computed centrally (vectorised over rounds)."""
         return self.enter(rank, f"timed:{label}", duration)
 
+    def timed_event(self, rank: int, duration: float, label: str = "timed") -> Event:
+        """Flat fast path for :meth:`timed` (``sim.flat`` call sites).
+
+        Identical slot bookkeeping and release scheduling as routing the
+        arrival through :meth:`enter`, but the release event is returned
+        for the rank body to ``yield`` directly — no generator frame per
+        rank per round, no trampoline resume through ``enter``.  The event
+        value (the results dict in shared-release mode, None per-rank) is
+        discarded by every caller, exactly as ``timed``'s return value is.
+        """
+        op_name = f"timed:{label}"
+        idx = self._slot_index[rank]
+        self._slot_index[rank] += 1
+        slot = self._slots.get(idx)
+        if slot is None:
+            slot = self._slots[idx] = _Slot(op_name=op_name)
+            if self.shared_release:
+                slot.shared = Event(self.sim, name=f"coll:{op_name}[{idx}]")
+        if slot.op_name != op_name:
+            raise SimError(
+                f"collective mismatch at slot {idx}: rank {rank} called "
+                f"{op_name!r} but others called {slot.op_name!r}"
+            )
+        slot.arrivals[rank] = duration
+        if slot.shared is not None:
+            if len(slot.arrivals) == self.nprocs:
+                self._complete(idx, slot)
+            return slot.shared
+        # Pooled on the slotted engine; the plain op_name (no per-rank
+        # f-string) keeps the hot per-rank release path allocation-free.
+        ev = self.sim.event(op_name)
+        slot.release[rank] = ev
+        if len(slot.arrivals) == self.nprocs:
+            self._complete(idx, slot)
+        return ev
+
     # completion -------------------------------------------------------------
     def _complete(self, idx: int, slot: _Slot) -> None:
         self.invocations += 1

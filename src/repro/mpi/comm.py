@@ -119,6 +119,12 @@ class Communicator:
         """Pre-costed synchronisation point (see ModelCollectives.timed)."""
         return self._model.timed(rank, duration, label)
 
+    def timed_event(self, rank: int, duration: float, label: str = "timed"):
+        """Flat variant of :meth:`timed`: returns the release Event to yield
+        directly (see ModelCollectives.timed_event).  ``sim.flat`` call
+        sites use this to skip one generator frame per rank per round."""
+        return self._model.timed_event(rank, duration, label)
+
     @property
     def costs(self) -> CollectiveCosts:
         return self._model.costs

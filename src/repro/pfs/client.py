@@ -27,7 +27,7 @@ import numpy as np
 from repro.faults.errors import PFSTimeoutError
 from repro.pfs.filesystem import ParallelFileSystem, PFSFile
 from repro.pfs.layout import StripeChunk
-from repro.sim.core import SimError
+from repro.sim.core import Event, SimError
 
 
 def coalesce_target_runs(chunks: list[StripeChunk]) -> list[list[StripeChunk]]:
@@ -270,6 +270,78 @@ class PFSClient:
                 self.pfs.locks.release(f.file_id, s, exclusive=True)
         f.record_write(offset, nbytes, data)
         self.bytes_written += nbytes
+
+    def write_sync_flat(
+        self,
+        f: PFSFile,
+        offset: int,
+        nbytes: int,
+        data: Optional[np.ndarray] = None,
+        rpc_count: Optional[int] = None,
+    ) -> Event:
+        """Flat variant of :meth:`write_sync` for ``sim.flat`` chains.
+
+        No locking, no watchdog: the caller (the sync thread's flat loop)
+        only enables this when no fault schedule exists, which also
+        guarantees every server's ``injector`` is None for
+        ``serve_write_event``.  The returned Event fires inline exactly
+        where the generator's caller would resume; every RTT timeout, flow
+        start, worker grant and jitter draw lands in the same event
+        callback as on the generator path.
+        """
+        if nbytes <= 0:
+            raise SimError("write_sync_flat requires nbytes > 0")
+        chunks = list(f.layout.chunks(offset, nbytes))
+        runs = coalesce_target_runs(chunks)
+        cfg = self.pfs.cfg
+        n_rpcs = max(rpc_count if rpc_count is not None else len(runs), len(runs))
+        # Precompute the per-run plan with the exact loop write_sync runs.
+        plan = []
+        remaining_rpcs = n_rpcs
+        for i, run in enumerate(runs):
+            server = self.pfs.server_for(f, run[0].target)
+            total = sum(ch.length for ch in run)
+            if i == len(runs) - 1:
+                run_rpcs = remaining_rpcs
+            else:
+                run_rpcs = max(1, round(n_rpcs * total / nbytes))
+                run_rpcs = min(run_rpcs, remaining_rpcs - (len(runs) - 1 - i))
+            remaining_rpcs -= run_rpcs
+            plan.append((server, run[0].target_offset, total, run_rpcs))
+        done = Event(self.sim, name="write-sync")
+        sim = self.sim
+        fabric = self.pfs.fabric
+
+        def _start_run(i: int) -> None:
+            _server, _t_off, _total, run_rpcs = plan[i]
+            self.rpcs += run_rpcs
+            sim.call_later(cfg.sync_client_rtt * run_rpcs, lambda: _flow(i))
+
+        def _flow(i: int) -> None:
+            server, _t_off, total, _run_rpcs = plan[i]
+            fl = fabric.start_flow(
+                self.node_id,
+                server.fabric_node,
+                total,
+                extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+            )
+            fl.callbacks.append(lambda _ev: _serve(i))
+
+        def _serve(i: int) -> None:
+            server, t_off, total, run_rpcs = plan[i]
+            ev = server.serve_write_event(t_off, total, rpc_count=run_rpcs)
+            ev.callbacks.append(lambda _ev: _next(i))
+
+        def _next(i: int) -> None:
+            if i + 1 < len(plan):
+                _start_run(i + 1)
+            else:
+                f.record_write(offset, nbytes, data)
+                self.bytes_written += nbytes
+                done._fire_inline()
+
+        _start_run(0)
+        return done
 
     def _sync_rpc(self, server, target_offset: int, total: int, run_rpcs: int):
         """One blocking sync RPC: the transfer and the server's processing,

@@ -176,6 +176,63 @@ class DataServer:
         finally:
             self.workers.release()
 
+    def serve_write_event(self, target_offset: int, nbytes: int, rpc_count: int = 1) -> Event:
+        """Flat variant of :meth:`serve_write` for ``sim.flat`` chains.
+
+        Caller gates on ``self.injector is None`` (no stall gate to park
+        behind).  Returns an Event fired *inline* in the callback where the
+        generator's caller would resume: same worker-grant position, same
+        post-grant jitter draw, same absorb/throttle loop, same
+        release-before-resume order.  The RPC completes unconditionally —
+        callers must not be interruptible mid-chain (the sync flat loop is
+        only enabled when no fault schedule exists).
+        """
+        done = Event(self.sim, name=f"srv{self.server_id}-w")
+        if self.fast_path and self.workers.try_acquire():
+            self._serve_write_overhead(done, nbytes, rpc_count)
+        else:
+            req = self.workers.request()
+            req.callbacks.append(
+                lambda _ev: self._serve_write_overhead(done, nbytes, rpc_count)
+            )
+        return done
+
+    def _serve_write_overhead(self, done: Event, nbytes: int, rpc_count: int) -> None:
+        overhead = self.cfg.rpc_overhead * max(1, rpc_count)
+        if self.rng is not None and self.cfg.jitter_sigma > 0:
+            overhead *= self.rng.lognormal_factor(
+                f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
+            )
+        self.sim.call_later(
+            overhead, lambda: self._serve_write_absorb(done, nbytes, rpc_count)
+        )
+
+    def _serve_write_absorb(
+        self, done: Event, nbytes: int, rpc_count: int, remaining: Optional[int] = None
+    ) -> None:
+        # Same loop as WriteBackCache.absorb, continued across throttle waits
+        # via callbacks instead of generator resumes.
+        cache = self.cache
+        remaining = int(nbytes) if remaining is None else remaining
+        while remaining > 0:
+            room = cache.limit - cache.dirty
+            if room <= 0:
+                ev = Event(self.sim, name="srvcache-throttle")
+                cache._waiters.append(ev)
+                ev.callbacks.append(
+                    lambda _ev, left=remaining: self._serve_write_absorb(
+                        done, nbytes, rpc_count, left
+                    )
+                )
+                return
+            chunk = min(remaining, room)
+            cache.dirty += chunk
+            remaining -= chunk
+            cache._ensure_daemon()
+        self.rpcs_served += max(1, rpc_count)
+        self.workers.release()
+        done._fire_inline()
+
     def serve_read(self, target_offset: int, nbytes: int):
         if not (self.fast_path and self.injector is None and self.workers.try_acquire()):
             yield self.workers.request()

@@ -72,9 +72,11 @@ def write_strided_coll(fd: ADIOFile, rank: int, access: RankAccess, prof: Profil
             rank, (access.start_offset, access.end_offset), nbytes=16
         )
     else:
-        yield from comm.timed(
-            rank, comm.costs.small_collective(comm.size, 16), "offset_exch"
-        )
+        cost = comm.costs.small_collective(comm.size, 16)
+        if comm.sim.flat:
+            yield comm.timed_event(rank, cost, "offset_exch")
+        else:
+            yield from comm.timed(rank, cost, "offset_exch")
         pairs = None  # derived from the shared call state below
     prof.lap("offset_exch", t0)
 
@@ -306,12 +308,21 @@ def _rounds_model(fd: ADIOFile, rank: int, access: RankAccess, call, prof: Profi
     bulk = getattr(fd.machine, "dataplane", "chunked") == "bulk"
     piece_overhead = fd.machine.config.network.piece_overhead
     memcpy_bw = fd.machine.config.ram.memcpy_bw
+    flat = sim.flat  # flat engine: yield the release event, skip timed()'s frame
+    a2a_label = f"a2a.{label}"
+    x_label = f"x.{label}"
     for r in range(call.ntimes):
         t0 = prof.mark()
-        yield from comm.timed(rank, call.alltoall_cost, f"a2a.{label}")
+        if flat:
+            yield comm.timed_event(rank, call.alltoall_cost, a2a_label)
+        else:
+            yield from comm.timed(rank, call.alltoall_cost, a2a_label)
         prof.lap("shuffle_all2all", t0)
         t0 = prof.mark()
-        yield from comm.timed(rank, float(call.shuffle_durations[r]), f"x.{label}")
+        if flat:
+            yield comm.timed_event(rank, float(call.shuffle_durations[r]), x_label)
+        else:
+            yield from comm.timed(rank, float(call.shuffle_durations[r]), x_label)
         prof.lap("comm", t0)
         if agg_idx is None or domain.size <= 0:
             continue

@@ -19,12 +19,42 @@ the overwhelmingly common single-waiter case.  An opt-in
 :class:`~repro.sim.profile.SimProfiler` attached as ``Simulator.profiler``
 counts events, heap pressure, and kick-pool reuse without costing anything
 when absent.
+
+Two engines implement the same contract (selected by ``REPRO_ENGINE``
+through :func:`create_simulator`):
+
+* :class:`Simulator` (``heapq``) — the historical binary-heap event list
+  with generator processes everywhere.  Kept as the reference: the A/B
+  harness in ``benchmarks/bench_engine.py`` asserts the slotted engine
+  reproduces its results to the byte.
+* :class:`SlottedSimulator` (``slotted``, the default) — a calendar-queue
+  scheduler with an O(1) same-instant fast lane (most bulk-dataplane events
+  are zero-delay), pooled/recycled ``Timeout``/``Deadline``/``Event``
+  objects, and ``sim.flat = True``, which switches the hottest process
+  bodies (collective releases, device I/O, the sync-thread flush chain) to
+  flattened state-machine callbacks that bypass generator resume.  The
+  firing order is provably identical to the heap's ``(time, seq)`` order:
+  the lane is FIFO over events due *now*, and advancing the clock moves one
+  exact-timestamp bucket (FIFO in scheduling order) onto the lane.
+
+See docs/PERFORMANCE.md ("The slotted scheduler") for the design and the
+equality argument.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import sys
+from bisect import insort
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+if sys.implementation.name == "cpython":
+    from sys import getrefcount as _refcount
+else:  # pragma: no cover - non-CPython: refcounts are unreliable there
+    def _refcount(obj: Any) -> int:
+        return 3  # always "shared": disables event recycling
 
 ProcGen = Generator["Event", Any, Any]
 
@@ -81,10 +111,12 @@ class Event:
     and resumes its waiters.  Callbacks receive the event itself.
     """
 
-    # ``abandon`` is an optional hook slot, deliberately left uninitialized on
-    # the hot path: a resource/lock layer that queued a waiter event stores a
-    # cleanup callable here, and :meth:`Process.interrupt` invokes it so an
-    # interrupted waiter never leaves an orphaned queue entry or leaked slot.
+    # ``abandon`` is an optional hook: a resource/lock layer that queued a
+    # waiter event stores a cleanup callable here, and
+    # :meth:`Process.interrupt` invokes it so an interrupted waiter never
+    # leaves an orphaned queue entry or leaked slot.  Initialised to None
+    # (rather than left unset) so the slotted engine's recycler can clear it
+    # with a plain store instead of a guarded ``del``.
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired", "name", "abandon")
 
     def __init__(self, sim: "Simulator", name: str = ""):
@@ -95,6 +127,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._triggered = False
         self._fired = False
+        self.abandon: Optional[Callable[[Event], None]] = None
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -138,6 +171,47 @@ class Event:
         self.sim._schedule(self, delay)
         return self
 
+    def adopt(self, ok: bool, value: Any) -> "Event":
+        """Install a fired outcome on a fresh internal event.
+
+        The one audited path that marks an event triggered *with* an
+        outcome but without the one-shot guard or the scheduling side
+        effect of :meth:`succeed`/:meth:`fail`.  Used by the re-kick path
+        (re-delivering an already-fired target to a process) and by the
+        slotted engine's Timeout/Deadline/Event pools when re-arming a
+        recycled object.  Callers schedule the event themselves.
+        """
+        self._ok = ok
+        self._value = value
+        self._triggered = True
+        return self
+
+    def _fire_inline(self, value: Any = None, ok: bool = True) -> None:
+        """Fire this event synchronously, inside the current callback.
+
+        Flattened state machines (``sim.flat``) use this to resume their
+        waiters at *exactly* the lane position where the generator version
+        would have resumed them — i.e. within the callback of the chain's
+        final real event, not one zero-delay hop later.  The event never
+        enters the event list (it does not count toward ``events_fired``),
+        so the waiter cannot be overtaken by other same-instant events the
+        way a ``succeed()``-scheduled completion could be.
+        """
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self._fired = True
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            if len(callbacks) == 1:
+                callbacks[0](self)
+            else:
+                for cb in callbacks:
+                    cb(self)
+        elif not ok:
+            raise value
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
         label = f" {self.name}" if self.name else ""
@@ -161,6 +235,23 @@ class _Kick(Event):
         self._ok = None
         self._triggered = False
         self._fired = False
+
+
+class _Call:
+    """A bare scheduled callback — the cheapest thing the engine dispatches.
+
+    No Event identity: no waiters, no payload, no success/failure, no
+    handle ever returned to the caller (so no reference can outlive the
+    fire and the pool needs no refcount guard).  Flattened fast paths use
+    :meth:`Simulator.call_soon` / :meth:`Simulator.call_later` for their
+    internal chain steps — the hops no generator ever awaits — turning a
+    pooled Timeout + callbacks-list dispatch into a single ``fn()``.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self) -> None:
+        self.fn = None
 
 
 class Timeout(Event):
@@ -251,7 +342,7 @@ class Process(Event):
         if target is not None:
             if self._resume in target.callbacks:
                 target.callbacks.remove(self._resume)
-            hook = getattr(target, "abandon", None)
+            hook = target.abandon
             if hook is not None:
                 target.abandon = None
                 hook(target)
@@ -303,8 +394,7 @@ class Process(Event):
             # Already fired (e.g. a stored value event): resume immediately
             # via a zero-delay kick so we don't recurse unboundedly.
             kick = self.sim._kick("rekick")
-            kick._ok, kick._value = target._ok, target._value
-            kick._triggered = True
+            kick.adopt(target._ok, target._value)
             kick.callbacks.append(self._resume)
             self.sim._schedule(kick, 0.0)
         else:
@@ -377,7 +467,32 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop.  One instance per simulated cluster run."""
+    """The event loop.  One instance per simulated cluster run.
+
+    This is the ``heapq`` engine: a binary heap of ``(time, seq, event)``
+    tuples.  :class:`SlottedSimulator` subclasses it with a calendar-queue
+    event list and object pooling; :func:`create_simulator` picks between
+    them (``REPRO_ENGINE``).
+    """
+
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "active_process",
+        "_event_count",
+        "_kick_pool",
+        "profiler",
+        "process_registry",
+    )
+
+    #: Engine name as selected by ``REPRO_ENGINE`` / :func:`create_simulator`.
+    kind = "heapq"
+    #: True when flattened (callback state machine) fast paths should be
+    #: used instead of the equivalent generator processes.  The heapq engine
+    #: keeps the generator paths so an A/B run compares the full legacy
+    #: configuration against the full slotted one.
+    flat = False
 
     # Kicks recycled beyond this depth are simply dropped; the pool only has
     # to absorb the steady-state resume churn, not a worst-case burst.
@@ -408,6 +523,19 @@ class Simulator:
     def at(self, when: float, value: Any = None) -> Deadline:
         """An event firing at the absolute instant ``when`` (see Deadline)."""
         return Deadline(self, when, value)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the current instant, after everything already
+        scheduled for it — the fire-and-forget form of a zero-delay timeout
+        with one callback (and dispatched at exactly that lane position)."""
+        t = Timeout(self, 0.0)
+        t.callbacks.append(lambda _ev: fn())
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay``, at the position a timeout scheduled
+        now for the same instant would fire."""
+        t = Timeout(self, delay)
+        t.callbacks.append(lambda _ev: fn())
 
     def process(self, gen: ProcGen, name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -512,3 +640,474 @@ class Simulator:
     @property
     def events_fired(self) -> int:
         return self._event_count
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unfired events (engine-agnostic).
+
+        External observers (the chaos invariant monitor, teardown drains)
+        use this instead of poking at engine internals like ``_heap``.
+        """
+        return len(self._heap)
+
+
+class CalendarQueue:
+    """A calendar queue over *distinct* float timestamps (Brown 1988).
+
+    The slotted engine stores one entry per distinct future instant (events
+    sharing an instant live in one FIFO bucket beside this spine), so the
+    queue only ever sees strictly increasing pops of unique keys.
+
+    Slots partition time into ``width``-sized days; a timestamp hashes to
+    slot ``int(t / width) % nslots``.  :meth:`pop` scans one *year* (all
+    ``nslots`` days) forward from the last popped instant; because every
+    pending timestamp is >= that instant, the first entry found within its
+    own day is the global minimum.  If a whole year holds nothing (a sparse
+    far-future horizon), a direct min search across all slots is the
+    fallback — correct regardless of calendar tuning.  The slot count grows
+    and shrinks with occupancy (``resizes`` counts them) and the width is
+    re-estimated from the observed inter-event gaps on each resize.
+    """
+
+    __slots__ = ("_slots", "_nslots", "_width", "_floor", "_count", "resizes")
+
+    def __init__(self, nslots: int = 32, width: float = 1.0):
+        self._nslots = nslots
+        self._width = width
+        self._slots: list[list[float]] = [[] for _ in range(nslots)]
+        self._floor = 0.0  # last popped instant; every entry is >= this
+        self._count = 0
+        self.resizes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, t: float) -> None:
+        insort(self._slots[int(t / self._width) % self._nslots], t)
+        self._count += 1
+        if self._count > 2 * self._nslots:
+            self._resize(2 * self._nslots)
+
+    def _locate(self) -> Optional[list[float]]:
+        """The slot list whose head is the global minimum, or None."""
+        if not self._count:
+            return None
+        width = self._width
+        nslots = self._nslots
+        slots = self._slots
+        i = int(self._floor / width)
+        for _ in range(nslots):
+            slot = slots[i % nslots]
+            # Same-day test via the same day function used at insertion:
+            # comparing against the boundary product (i+1)*width instead is
+            # NOT equivalent under floating point (the product can round to
+            # a value int(t/width) still maps into day i) and skips days.
+            if slot and int(slot[0] / width) <= i:
+                return slot
+            i += 1
+        # Direct search: nothing due within a year of the floor.
+        best = None
+        for slot in slots:
+            if slot and (best is None or slot[0] < best[0]):
+                best = slot
+        return best
+
+    def peek(self) -> Optional[float]:
+        slot = self._locate()
+        return slot[0] if slot is not None else None
+
+    def pop(self) -> float:
+        slot = self._locate()
+        if slot is None:
+            raise IndexError("pop from empty CalendarQueue")
+        t = slot.pop(0)
+        self._floor = t
+        self._count -= 1
+        if self._nslots > 8 and self._count * 4 < self._nslots:
+            self._resize(self._nslots // 2)
+        return t
+
+    def _resize(self, nslots: int) -> None:
+        items = [t for slot in self._slots for t in slot]
+        items.sort()
+        self.resizes += 1
+        width = self._width
+        if len(items) > 1:
+            gap = (items[-1] - items[0]) / (len(items) - 1)
+            if gap > 0.0:
+                # The classic heuristic: a day holds ~3 events on average.
+                width = gap * 3.0
+        self._nslots = nslots
+        self._width = width
+        slots: list[list[float]] = [[] for _ in range(nslots)]
+        for t in items:  # ascending, so each slot list stays sorted
+            slots[int(t / width) % nslots].append(t)
+        self._slots = slots
+        self._count = len(items)
+
+
+class SlottedSimulator(Simulator):
+    """The slotted, allocation-free engine (``REPRO_ENGINE=slotted``).
+
+    Three structural changes against the heap engine, none of which alter
+    the firing order (the A/B harness in ``benchmarks/bench_engine.py``
+    enforces byte-identical results):
+
+    * **Same-instant fast lane.**  Events due at the current instant go on
+      a FIFO deque; scheduling and firing one is O(1) with no comparisons.
+      Most events in a bulk-dataplane run are zero-delay (grants, kicks,
+      collective releases), so this lane carries the bulk of the traffic.
+    * **Calendar-queue spine.**  Future events land in an exact-timestamp
+      FIFO bucket (``dict``); only *distinct* timestamps enter the
+      :class:`CalendarQueue`.  Advancing the clock pops the nearest
+      timestamp and moves its whole bucket onto the lane — bucket FIFO
+      order is scheduling order, and later same-instant arrivals append
+      behind it, which is exactly the heap's ``(time, seq)`` order.
+    * **Event pooling.**  Fired ``Timeout``/``Deadline``/``Event`` objects
+      (exact types only) are recycled through free lists when nothing else
+      references them (``sys.getrefcount == 2`` at the recycle point), the
+      way ``_Kick`` always was.  ``sim.timeout()`` then costs a pop and a
+      re-arm instead of an allocation.
+
+    The class also sets ``flat = True``: call sites with flattened
+    state-machine fast paths (collective releases, device I/O, the
+    sync-thread flush chain) switch off their generator bodies.
+    """
+
+    __slots__ = (
+        "_lane",
+        "_buckets",
+        "_times",
+        "_timeout_pool",
+        "_deadline_pool",
+        "_event_pool",
+        "_call_pool",
+    )
+
+    kind = "slotted"
+    flat = True
+
+    # Each pool is bounded so a teardown burst cannot pin a run's worth of
+    # events; steady-state churn fits comfortably.
+    _EVENT_POOL_MAX = 512
+
+    def __init__(self):
+        super().__init__()
+        self._heap = None  # poison: any heap-engine codepath fails loudly
+        self._lane: deque[Event | _Call] = deque()
+        self._buckets: dict[float, list[Event | _Call]] = {}
+        self._times = CalendarQueue()
+        self._timeout_pool: list[Timeout] = []
+        self._deadline_pool: list[Deadline] = []
+        self._event_pool: list[Event] = []
+        self._call_pool: list[_Call] = []
+
+    # -- pooled construction --------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.name = name
+            if self.profiler is not None:
+                self.profiler.count("sim.event_pool_reused")
+            return ev
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            t = pool.pop()
+            t.delay = delay
+            t.adopt(True, value)
+            self._schedule(t, delay)
+            if self.profiler is not None:
+                self.profiler.count("sim.event_pool_reused")
+            return t
+        return Timeout(self, delay, value)
+
+    def at(self, when: float, value: Any = None) -> Deadline:
+        pool = self._deadline_pool
+        if pool and when >= self.now:
+            d = pool.pop()
+            d.when = when
+            d.adopt(True, value)
+            self._schedule_at(d, when)
+            if self.profiler is not None:
+                self.profiler.count("sim.event_pool_reused")
+            return d
+        return Deadline(self, when, value)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        pool = self._call_pool
+        c = pool.pop() if pool else _Call()
+        c.fn = fn
+        self._lane.append(c)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay == 0.0:
+            self.call_soon(fn)
+            return
+        if delay < 0.0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        pool = self._call_pool
+        c = pool.pop() if pool else _Call()
+        c.fn = fn
+        when = self.now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [c]
+            self._times.push(when)
+        else:
+            bucket.append(c)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay == 0.0:
+            self._lane.append(event)
+        elif delay > 0.0:
+            self._schedule_at(event, self.now + delay)
+        else:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        if self.profiler is not None:
+            self.profiler.heap_sample(len(self._lane) + len(self._buckets))
+
+    def _schedule_at(self, event: Event, when: float) -> None:
+        if when <= self.now:
+            if when < self.now:
+                raise SimError(f"cannot schedule in the past (when={when})")
+            self._lane.append(event)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            self._times.push(when)
+        else:
+            bucket.append(event)
+
+    # -- the loop -------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the single next event."""
+        lane = self._lane
+        if not lane:
+            when = self._times.pop()  # IndexError when truly empty
+            if when < self.now:
+                raise SimError("event list corrupted: time went backwards")
+            self.now = when
+            lane.extend(self._buckets.pop(when))
+        event = lane.popleft()
+        if event.__class__ is _Call:
+            fn = event.fn
+            event.fn = None
+            if len(self._call_pool) < self._EVENT_POOL_MAX:
+                self._call_pool.append(event)
+            self._event_count += 1
+            fn()
+            return
+        event._fired = True
+        self._event_count += 1
+        callbacks = event.callbacks
+        if callbacks:
+            if len(callbacks) == 1:
+                # Keep the (now empty) list on the event: a recycled event
+                # reuses it, saving a list allocation per fire.
+                cb = callbacks[0]
+                callbacks.clear()
+                cb(event)
+            else:
+                event.callbacks = []
+                for cb in callbacks:
+                    cb(event)
+        elif not event._ok:
+            raise event._value
+        # Recycle (exact types only — subclasses carry extra identity).  The
+        # refcount guard proves nothing else holds the object: 2 == the
+        # `event` local plus the getrefcount argument itself.
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        elif cls is _Kick:
+            if len(self._kick_pool) < self._KICK_POOL_MAX:
+                event._value = None
+                self._kick_pool.append(event)
+            return
+        elif cls is Deadline:
+            pool = self._deadline_pool
+        else:
+            return
+        if len(pool) < self._EVENT_POOL_MAX and _refcount(event) == 2:
+            # Scrub to factory state (payload refs dropped now, not at reuse).
+            event._value = None
+            event._ok = None
+            event._triggered = False
+            event._fired = False
+            event.abandon = None
+            pool.append(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        # Hot state bound to locals: the per-event self-attribute lookups
+        # and the step() call itself are measurable at grid event volumes.
+        # The loop bodies below are step() inlined — KEEP THEM IN SYNC.
+        lane = self._lane
+        buckets = self._buckets
+        times = self._times
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        deadline_pool = self._deadline_pool
+        kick_pool = self._kick_pool
+        kick_max = self._KICK_POOL_MAX
+        pool_max = self._EVENT_POOL_MAX
+        call_pool = self._call_pool
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel._fired:
+                if not lane:
+                    if not buckets:
+                        raise self._deadlock(sentinel)
+                    when = times.pop()
+                    if when < self.now:
+                        raise SimError("event list corrupted: time went backwards")
+                    self.now = when
+                    lane.extend(buckets.pop(when))
+                event = lane.popleft()
+                if event.__class__ is _Call:
+                    fn = event.fn
+                    event.fn = None
+                    if len(call_pool) < pool_max:
+                        call_pool.append(event)
+                    self._event_count += 1
+                    fn()
+                    continue
+                event._fired = True
+                self._event_count += 1
+                callbacks = event.callbacks
+                if callbacks:
+                    if len(callbacks) == 1:
+                        cb = callbacks[0]
+                        callbacks.clear()
+                        cb(event)
+                    else:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                elif not event._ok:
+                    raise event._value
+                cls = event.__class__
+                if cls is Timeout:
+                    pool = timeout_pool
+                elif cls is Event:
+                    pool = event_pool
+                elif cls is _Kick:
+                    if len(kick_pool) < kick_max:
+                        event._value = None
+                        kick_pool.append(event)
+                    continue
+                elif cls is Deadline:
+                    pool = deadline_pool
+                else:
+                    continue
+                if len(pool) < pool_max and _refcount(event) == 2:
+                    event._value = None
+                    event._ok = None
+                    event._triggered = False
+                    event._fired = False
+                    event.abandon = None
+                    pool.append(event)
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
+
+        deadline = float("inf") if until is None else float(until)
+        while True:
+            if not lane:
+                nxt = times.peek()
+                if nxt is None or nxt > deadline:
+                    break
+                times.pop()
+                self.now = nxt
+                lane.extend(buckets.pop(nxt))
+            elif self.now > deadline:
+                break
+            event = lane.popleft()
+            if event.__class__ is _Call:
+                fn = event.fn
+                event.fn = None
+                if len(call_pool) < pool_max:
+                    call_pool.append(event)
+                self._event_count += 1
+                fn()
+                continue
+            event._fired = True
+            self._event_count += 1
+            callbacks = event.callbacks
+            if callbacks:
+                if len(callbacks) == 1:
+                    cb = callbacks[0]
+                    callbacks.clear()
+                    cb(event)
+                else:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+            elif not event._ok:
+                raise event._value
+            cls = event.__class__
+            if cls is Timeout:
+                pool = timeout_pool
+            elif cls is Event:
+                pool = event_pool
+            elif cls is _Kick:
+                if len(kick_pool) < kick_max:
+                    event._value = None
+                    kick_pool.append(event)
+                continue
+            elif cls is Deadline:
+                pool = deadline_pool
+            else:
+                continue
+            if len(pool) < pool_max and _refcount(event) == 2:
+                event._value = None
+                event._ok = None
+                event._triggered = False
+                event._fired = False
+                event.abandon = None
+                pool.append(event)
+        if until is not None and self.now < deadline:
+            self.now = deadline
+        return None
+
+    @property
+    def pending(self) -> int:
+        return len(self._lane) + sum(len(b) for b in self._buckets.values())
+
+
+#: Engine registry: ``REPRO_ENGINE`` / :func:`create_simulator` names.
+ENGINE_KINDS: dict[str, type[Simulator]] = {
+    "slotted": SlottedSimulator,
+    "heapq": Simulator,
+}
+
+
+def default_engine_kind() -> str:
+    """Engine selected by ``REPRO_ENGINE`` (default: ``slotted``)."""
+    kind = os.environ.get("REPRO_ENGINE", "slotted")
+    if kind not in ENGINE_KINDS:
+        raise SimError(
+            f"unknown engine {kind!r} in REPRO_ENGINE "
+            f"(expected one of {sorted(ENGINE_KINDS)})"
+        )
+    return kind
+
+
+def create_simulator(kind: Optional[str] = None) -> Simulator:
+    """Build the selected event-loop engine (argument beats environment)."""
+    kind = kind if kind is not None else default_engine_kind()
+    try:
+        cls = ENGINE_KINDS[kind]
+    except KeyError:
+        raise SimError(
+            f"unknown engine {kind!r} (expected one of {sorted(ENGINE_KINDS)})"
+        ) from None
+    return cls()

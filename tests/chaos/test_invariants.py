@@ -59,7 +59,7 @@ class TestWatchdog:
         monitor.watch()
         monitor.drain()
         assert monitor.ticks >= 1
-        assert not machine.sim._heap
+        assert not machine.sim.pending
         # Re-arming for a second phase must not raise either.
         monitor.watch()
         monitor.drain()

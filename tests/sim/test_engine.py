@@ -1,0 +1,299 @@
+"""Scheduler edge cases: both engines, plus the slotted internals.
+
+The behavioural tests run against both registered engines (the slotted
+default and the ``heapq`` reference) — the identity contract says any
+observable difference between them is a bug.  The CalendarQueue tests and
+the differential test target the slotted engine's internals directly.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.core import (
+    ENGINE_KINDS,
+    CalendarQueue,
+    Interrupt,
+    SimError,
+    create_simulator,
+    default_engine_kind,
+)
+
+
+@pytest.fixture(params=sorted(ENGINE_KINDS))
+def sim(request):
+    return create_simulator(request.param)
+
+
+class TestEngineSelection:
+    def test_registry_kinds(self):
+        assert set(ENGINE_KINDS) == {"heapq", "slotted"}
+        for kind, cls in ENGINE_KINDS.items():
+            assert create_simulator(kind).kind == kind
+            assert cls.kind == kind
+
+    def test_default_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert default_engine_kind() == "slotted"
+        monkeypatch.setenv("REPRO_ENGINE", "heapq")
+        assert default_engine_kind() == "heapq"
+        assert create_simulator().kind == "heapq"
+
+    def test_unknown_kind_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        with pytest.raises(SimError):
+            create_simulator()
+
+
+class TestSameInstantOrdering:
+    def test_seq_tie_stability(self, sim):
+        """Events landing on one instant fire in insertion (FIFO) order —
+        across zero-delay timeouts, succeeded events and equal-delay
+        timeouts scheduled from different call sites."""
+        fired = []
+
+        def note(tag):
+            return lambda _ev: fired.append(tag)
+
+        for i in range(50):
+            t = sim.timeout(0.0)
+            t.callbacks.append(note(("zero", i)))
+            ev = sim.event()
+            ev.succeed()
+            ev.callbacks.append(note(("succ", i)))
+        sim.run()
+        assert fired == [(k, i) for i in range(50) for k in ("zero", "succ")]
+
+    def test_seq_tie_stability_same_future_instant(self, sim):
+        fired = []
+        for i in range(20):
+            t = sim.timeout(1.5)
+            t.callbacks.append(lambda _ev, i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(20))
+        assert sim.now == 1.5
+
+    def test_call_soon_interleaves_fifo(self, sim):
+        """call_soon/call_later dispatch at exactly the lane position a
+        zero-delay timeout scheduled at the same point would."""
+        fired = []
+        t1 = sim.timeout(0.0)
+        t1.callbacks.append(lambda _ev: fired.append("t1"))
+        sim.call_soon(lambda: fired.append("c1"))
+        t2 = sim.timeout(0.0)
+        t2.callbacks.append(lambda _ev: fired.append("t2"))
+        sim.call_later(0.0, lambda: fired.append("c2"))
+        sim.run()
+        assert fired == ["t1", "c1", "t2", "c2"]
+
+    def test_call_later_orders_with_timeouts(self, sim):
+        fired = []
+        t = sim.timeout(2.0)
+        t.callbacks.append(lambda _ev: fired.append("t"))
+        sim.call_later(1.0, lambda: fired.append("early"))
+        sim.call_later(2.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["early", "t", "c"]
+        assert sim.now == 2.0
+
+
+class TestPastScheduling:
+    def test_deadline_in_past_raises(self, sim):
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        with pytest.raises(SimError):
+            sim.at(4.999)
+
+    def test_deadline_at_now_fires_immediately(self, sim):
+        sim.run(until=5.0)
+        d = sim.at(5.0, value="on-time")
+
+        def body():
+            got = yield d
+            return (got, sim.now)
+
+        p = sim.process(body())
+        sim.run()
+        assert p.value == ("on-time", 5.0)
+
+    def test_negative_timeout_raises(self, sim):
+        with pytest.raises(SimError):
+            sim.timeout(-1e-9)
+
+    def test_negative_call_later_raises(self, sim):
+        with pytest.raises(SimError):
+            sim.call_later(-1e-9, lambda: None)
+
+
+class TestInterruptRaces:
+    def test_interrupt_racing_triggered_event(self, sim):
+        """Interrupt a process whose awaited event has already been
+        succeeded (scheduled to fire this instant, not yet dispatched):
+        the interrupt must win and the pending fire must not resurrect or
+        crash the process."""
+        ev = sim.event()
+
+        def body():
+            try:
+                yield ev
+                return "fired"
+            except Interrupt as i:
+                return ("interrupted", i.cause)
+
+        p = sim.process(body())
+
+        def racer():
+            yield sim.timeout(1.0)
+            ev.succeed("value")  # scheduled for dispatch at t=1.0 ...
+            p.interrupt(cause="race")  # ... but the interrupt lands first
+
+        sim.process(racer())
+        sim.run()
+        assert p.value == ("interrupted", "race")
+        assert ev.triggered
+
+    def test_interrupt_after_fire_is_noop(self, sim):
+        ev = sim.event()
+
+        def body():
+            got = yield ev
+            yield sim.timeout(1.0)
+            return got
+
+        p = sim.process(body())
+
+        def racer():
+            yield sim.timeout(1.0)
+            ev.succeed("value")
+
+        sim.process(racer())
+        sim.run(until=1.0)
+        sim.run()
+        assert p.value == "value"
+
+
+class TestCalendarQueue:
+    def test_overflow_grows_and_stays_sorted(self):
+        q = CalendarQueue(nslots=8, width=1.0)
+        times = [float(i) * 0.37 for i in range(1, 200)]
+        rng = random.Random(7)
+        rng.shuffle(times)
+        for t in times:
+            q.push(t)
+        assert q.resizes > 0, "pushing 25x the slot count must trigger growth"
+        popped = [q.pop() for _ in range(len(times))]
+        assert popped == sorted(times)
+        assert len(q) == 0
+
+    def test_shrink_on_drain(self):
+        q = CalendarQueue(nslots=8, width=1.0)
+        for i in range(1, 300):
+            q.push(float(i))
+        grown = q.resizes
+        out = []
+        for _ in range(295):
+            out.append(q.pop())
+        assert q.resizes > grown, "draining must shrink the calendar back"
+        assert out == sorted(out)
+        assert [q.pop() for _ in range(len(q))] == [296.0, 297.0, 298.0, 299.0]
+
+    def test_empty_pop_raises_and_peek_none(self):
+        q = CalendarQueue()
+        assert q.peek() is None
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_float_boundary_day_skip_regression(self):
+        """Timestamps that are exact multiples of the slot width: the
+        same-day scan test must use the insertion day function, because
+        the day-boundary product ``(i+1) * width`` can round to a value
+        that ``int(t / width)`` still maps into day ``i`` — which made
+        ``pop`` skip a due day and return an out-of-order minimum."""
+        width = 3.0000000000000005e-06  # the width the bug manifested under
+        q = CalendarQueue(nslots=32, width=width)
+        times = [k * 1e-6 for k in range(1, 65)]  # includes 3.3e-05 == 11*width
+        rng = random.Random(3)
+        rng.shuffle(times)
+        for t in times:
+            q.push(t)
+        assert [q.pop() for _ in range(len(times))] == sorted(times)
+
+    def test_differential_against_heapq_random(self):
+        """Randomized push/pop stream (including sub-microsecond gaps and
+        far-future horizons) mirrored against a binary heap."""
+        rng = random.Random(2016)
+        q = CalendarQueue()
+        shadow: list[float] = []
+        floor = 0.0
+        for _ in range(3000):
+            if shadow and rng.random() < 0.45:
+                want = heapq.heappop(shadow)
+                got = q.pop()
+                assert got == want
+                floor = got
+            else:
+                gap = rng.choice([1e-9, 1e-6, 3.7e-4, 1.0, 900.0]) * (
+                    1 + rng.random()
+                )
+                t = floor + gap
+                if t not in shadow:
+                    q.push(t)
+                    heapq.heappush(shadow, t)
+        while shadow:
+            assert q.pop() == heapq.heappop(shadow)
+
+
+class TestDifferentialEngines:
+    def test_500_step_differential(self):
+        """One seeded 500-step program — a churn of processes spawning
+        timeouts, zero-delay hops, shared events and interrupts — executed
+        on both engines; the full (time, tag) trace must match exactly."""
+
+        def run(kind):
+            sim = create_simulator(kind)
+            rng = random.Random(20160926)
+            trace = []
+            shared = {}
+
+            def worker(wid, steps):
+                for s in range(steps):
+                    roll = rng.random()
+                    if roll < 0.45:
+                        yield sim.timeout(rng.choice([0.0, 1e-6, 3.3e-5, 0.25]))
+                    elif roll < 0.70:
+                        ev = sim.event()
+                        ev.succeed((wid, s))
+                        got = yield ev
+                        trace.append((sim.now, "hop", got))
+                    elif roll < 0.85:
+                        key = rng.randrange(4)
+                        ev = shared.pop(key, None)
+                        if ev is None:
+                            shared[key] = ev = sim.event()
+                            got = yield ev
+                            trace.append((sim.now, "met", wid, got))
+                        else:
+                            ev.succeed(wid)
+                    else:
+                        yield sim.timeout(rng.random())
+                    trace.append((sim.now, "step", wid, s))
+                return wid
+
+            procs = [sim.process(worker(w, 50)) for w in range(10)]
+            sim.run(until=10_000.0)
+            # Release rendezvous stragglers deterministically until every
+            # worker has finished its 50 steps.
+            for _ in range(100):
+                if all(not p.is_alive for p in procs):
+                    break
+                for ev in list(shared.values()):
+                    if not ev.triggered:
+                        ev.succeed(None)
+                shared.clear()
+                sim.run(until=sim.now + 1_000.0)
+            return trace, [p.value for p in procs], sim.now
+
+        t_heapq = run("heapq")
+        t_slotted = run("slotted")
+        assert t_heapq == t_slotted
