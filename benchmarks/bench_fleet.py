@@ -1,0 +1,176 @@
+"""Fleet benchmark: events/s and jobs/s for multi-job fleets on one machine.
+
+Two concerns, one report (``BENCH_fleet.json``):
+
+* **Determinism gate** — the 16-job fleet runs under every engine ×
+  dataplane combination (slotted/heapq × bulk/chunked) and the four
+  :meth:`~repro.fleet.runner.FleetResult.identity` dicts must be
+  byte-identical: same per-job rows, same queue waits, same makespan,
+  same aggregate summary.  The fleet timeline is part of the repo's
+  differential-testing contract, so any divergence fails the benchmark
+  (non-zero exit) before check_bench even looks at the numbers.
+* **Throughput scaling** — fleets of {16, 64, 256} jobs (quick mode stops
+  at 16) on the slotted engine + bulk dataplane, recording wall time,
+  events fired, events/s and jobs/s.  The per-combo events-fired counts
+  are bit-reproducible and gated exactly by ``check_bench.py --fleet``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+    PYTHONPATH=src python benchmarks/bench_fleet.py --full --out BENCH_fleet.json
+
+Exit status is non-zero if any engine/dataplane combination diverges or a
+fleet reports failed jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.fleet import FleetSpec, run_fleet
+
+# Reference numbers from the box that recorded benchmarks/baseline_quick.json
+# (events are exact and engine/dataplane-dependent; throughputs are context).
+RECORDED_BASELINES = {
+    "fleet16_slotted_bulk_events": 15442,
+    "fleet16_slotted_chunked_events": 26224,
+    "fleet256_slotted_bulk_wall_s": 7.5,
+}
+
+BENCH_SCALE = 0.03125  # same quick scale as bench_engine / the CI grids
+
+AB_FLEET_SIZE = 16
+QUICK_SIZES = (16,)
+FULL_SIZES = (16, 64, 256)
+ENGINES = ("slotted", "heapq")
+DATAPLANES = ("bulk", "chunked")
+
+
+def bench_point(fleet_size: int, engine: str, dataplane: str):
+    """One fleet run under an explicit engine/dataplane; returns
+    ``(identity_dict, metrics_dict)``."""
+    spec = FleetSpec(fleet_size=fleet_size, scale=BENCH_SCALE)
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        t0 = time.perf_counter()
+        result = run_fleet(spec, dataplane=dataplane)
+        wall = time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+    metrics = {
+        "fleet_size": fleet_size,
+        "engine": engine,
+        "dataplane": result.dataplane,
+        "wall_s": wall,
+        "events_fired": result.events,
+        "events_per_sec": result.events / wall if wall else 0.0,
+        "jobs_per_sec": fleet_size / wall if wall else 0.0,
+        "makespan": result.makespan,
+        "backfilled": result.backfilled,
+        "jobs_failed": result.summary.get("failed", 0),
+    }
+    return result.identity(), metrics
+
+
+def fleet_grid_ab(failures: list[str]) -> dict:
+    """The determinism gate: every engine × dataplane combo at one size."""
+    section: dict = {}
+    identities: dict[str, dict] = {}
+    for engine in ENGINES:
+        for dataplane in DATAPLANES:
+            kind = f"{engine}_{dataplane}"
+            identity, metrics = bench_point(AB_FLEET_SIZE, engine, dataplane)
+            identities[kind] = identity
+            section[kind] = metrics
+            print(
+                f"  fleet_grid_ab {kind:16s} events={metrics['events_fired']:>7d} "
+                f"wall={metrics['wall_s']:.2f}s "
+                f"ev/s={metrics['events_per_sec']:,.0f} "
+                f"jobs/s={metrics['jobs_per_sec']:.1f}"
+            )
+    reference = json.dumps(identities["slotted_bulk"], sort_keys=True)
+    mismatches = [
+        kind
+        for kind, identity in identities.items()
+        if json.dumps(identity, sort_keys=True) != reference
+    ]
+    for kind in mismatches:
+        failures.append(f"fleet_grid_ab.{kind}: identity diverges from slotted_bulk")
+    failed = section["slotted_bulk"]["jobs_failed"]
+    if failed:
+        failures.append(f"fleet_grid_ab: {failed} jobs failed in a fault-free fleet")
+    section["byte_identical"] = not mismatches
+    section["mismatches"] = mismatches
+    return section
+
+
+def fleet_scaling(sizes, grid_ab: dict, failures: list[str]) -> dict:
+    """Throughput vs fleet size on the default (slotted + bulk) combo."""
+    section: dict = {}
+    for size in sizes:
+        if size == AB_FLEET_SIZE and "slotted_bulk" in grid_ab:
+            metrics = grid_ab["slotted_bulk"]  # already measured in the A/B
+        else:
+            _, metrics = bench_point(size, "slotted", "bulk")
+        section[str(size)] = metrics
+        if metrics["jobs_failed"]:
+            failures.append(
+                f"fleet_scaling.{size}: {metrics['jobs_failed']} jobs failed "
+                f"in a fault-free fleet"
+            )
+        print(
+            f"  fleet_scaling  n={size:<4d} events={metrics['events_fired']:>8d} "
+            f"wall={metrics['wall_s']:.2f}s "
+            f"ev/s={metrics['events_per_sec']:,.0f} "
+            f"jobs/s={metrics['jobs_per_sec']:.1f}"
+        )
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_fleet.py",
+        description=__doc__.splitlines()[0],
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="A/B grid + 16-job scaling (CI)"
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="A/B grid + {16,64,256} scaling"
+    )
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    args = parser.parse_args(argv)
+    full = bool(args.full)
+
+    failures: list[str] = []
+    print(f"bench_fleet: scale={BENCH_SCALE} mode={'full' if full else 'quick'}")
+    report = {
+        "scale": BENCH_SCALE,
+        "mode": "full" if full else "quick",
+        "recorded_baselines": RECORDED_BASELINES,
+    }
+    report["fleet_grid_ab"] = fleet_grid_ab(failures)
+    report["fleet_scaling"] = fleet_scaling(
+        FULL_SIZES if full else QUICK_SIZES, report["fleet_grid_ab"], failures
+    )
+    report["ok"] = not failures
+    report["failures"] = failures
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_fleet: wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

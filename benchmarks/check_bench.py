@@ -42,9 +42,12 @@ def check_events_exact(baseline: dict, reports: dict, failures: list[str]) -> No
         "engine_grid_ab": ("engine", "engine_grid_ab"),
         "grid_ab": ("engine", "grid_ab"),
         "dataplane_grid_ab": ("dataplane", "grid_ab"),
+        "fleet_grid_ab": ("fleet", "fleet_grid_ab"),
     }
     for name, expected_kinds in baseline["events_fired"].items():
         which, key = sections[name]
+        if which not in reports:
+            continue  # this invocation only checks a subset of the reports
         section = reports[which].get(key)
         if section is None:
             failures.append(f"{name}: section {key!r} missing from report")
@@ -61,25 +64,41 @@ def check_throughput_floors(
     baseline: dict, reports: dict, failures: list[str]
 ) -> None:
     floors = baseline["events_per_sec_floors"]
-    sched = reports["engine"].get("scheduler_microbench", {})
-    for kind, floor in floors.get("scheduler_microbench", {}).items():
-        got = sched.get(kind, {}).get("events_per_sec", 0.0)
-        if got < floor:
+    if "engine" in reports:
+        sched = reports["engine"].get("scheduler_microbench", {})
+        for kind, floor in floors.get("scheduler_microbench", {}).items():
+            got = sched.get(kind, {}).get("events_per_sec", 0.0)
+            if got < floor:
+                failures.append(
+                    f"scheduler_microbench.{kind}: {got:.0f} ev/s < floor {floor}"
+                )
+        ratio_min = floors.get("scheduler_ratio_min")
+        if ratio_min is not None:
+            ratio = sched.get("events_per_sec_ratio", 0.0)
+            if ratio < ratio_min:
+                failures.append(
+                    f"scheduler_microbench ratio {ratio:.2f}x < floor {ratio_min}x"
+                )
+        eng = reports["engine"].get("engine_grid_ab", {})
+        for kind, floor in floors.get("engine_grid_ab", {}).items():
+            got = eng.get(kind, {}).get("events_per_sec", 0.0)
+            if got < floor:
+                failures.append(
+                    f"engine_grid_ab.{kind}: {got:.0f} ev/s < floor {floor}"
+                )
+    if "fleet" in reports:
+        grid = reports["fleet"].get("fleet_grid_ab", {})
+        for kind, floor in floors.get("fleet_grid_ab", {}).items():
+            got = grid.get(kind, {}).get("events_per_sec", 0.0)
+            if got < floor:
+                failures.append(
+                    f"fleet_grid_ab.{kind}: {got:.0f} ev/s < floor {floor}"
+                )
+        if not grid.get("byte_identical", False):
             failures.append(
-                f"scheduler_microbench.{kind}: {got:.0f} ev/s < floor {floor}"
+                "fleet_grid_ab: engine x dataplane identities diverge "
+                f"({', '.join(grid.get('mismatches', ['?']))})"
             )
-    ratio_min = floors.get("scheduler_ratio_min")
-    if ratio_min is not None:
-        ratio = sched.get("events_per_sec_ratio", 0.0)
-        if ratio < ratio_min:
-            failures.append(
-                f"scheduler_microbench ratio {ratio:.2f}x < floor {ratio_min}x"
-            )
-    eng = reports["engine"].get("engine_grid_ab", {})
-    for kind, floor in floors.get("engine_grid_ab", {}).items():
-        got = eng.get(kind, {}).get("events_per_sec", 0.0)
-        if got < floor:
-            failures.append(f"engine_grid_ab.{kind}: {got:.0f} ev/s < floor {floor}")
 
 
 def check_ok_flags(reports: dict, failures: list[str]) -> None:
@@ -97,16 +116,30 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--engine", default="BENCH_engine.json")
     parser.add_argument("--dataplane", default="BENCH_dataplane.json")
+    parser.add_argument(
+        "--fleet",
+        default=None,
+        help="also gate a bench_fleet report (e.g. BENCH_fleet.json)",
+    )
+    parser.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="check only the fleet report (skip engine/dataplane reports)",
+    )
     parser.add_argument("--baseline", default="benchmarks/baseline_quick.json")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     reports = {}
-    with open(args.engine) as fh:
-        reports["engine"] = json.load(fh)
-    with open(args.dataplane) as fh:
-        reports["dataplane"] = json.load(fh)
+    if not args.fleet_only:
+        with open(args.engine) as fh:
+            reports["engine"] = json.load(fh)
+        with open(args.dataplane) as fh:
+            reports["dataplane"] = json.load(fh)
+    if args.fleet or args.fleet_only:
+        with open(args.fleet or "BENCH_fleet.json") as fh:
+            reports["fleet"] = json.load(fh)
 
     for which, report in reports.items():
         if report.get("mode") != baseline["mode"]:

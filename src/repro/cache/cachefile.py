@@ -67,7 +67,7 @@ class CacheState:
             self.journal = CacheJournal(
                 path=global_file.path,
                 rank=rank,
-                node_id=rank // machine.config.procs_per_node,
+                node_id=machine.node_of_rank(rank),
                 local_path=cache_name,
                 local_file=self.local_file,
                 file_id=global_file.file_id,

@@ -82,7 +82,7 @@ class SyncThread:
         inj = getattr(machine, "faults", None)
         self._bulk = getattr(machine, "dataplane", "chunked") == "bulk" and (
             inj is None
-            or not inj.sync_faults_possible(rank // machine.config.procs_per_node)
+            or not inj.sync_faults_possible(machine.node_of_rank(rank))
         )
         # Flat service loop (slotted engine): the read/write chain runs as
         # event callbacks instead of nested generator frames.  Requires the
@@ -94,6 +94,12 @@ class SyncThread:
         self._proc = self.sim.process(body, name=f"syncthread.r{rank}")
         if inj is not None:
             inj.register_daemon(self._proc)
+        # Fleet job teardown: a JobView collects its daemons so an aborted
+        # job's parked sync threads can be interrupted when its nodes are
+        # released (a plain Machine has no such list).
+        daemons = getattr(machine, "daemons", None)
+        if daemons is not None:
+            daemons.append(self._proc)
 
     def submit(self, request: SyncRequest) -> None:
         self.queue.put(request)
@@ -267,10 +273,15 @@ class SyncThread:
         for stripe in req.stripes:
             self.cache_state.release_stripe(stripe)
         if req.grequest is not None:
+            # Fleet runs label the error with the owning job so a failure in
+            # a multi-job simulation is attributable (job_label is None on a
+            # plain single-job Machine).
+            job = getattr(self.machine, "job_label", None)
+            whose = f"job {job}: " if job is not None else ""
             req.grequest.fail(
                 SyncFailedError(
-                    f"sync of [{pos}, {end}) on rank {self.rank} abandoned "
-                    f"after {req.requeues} re-queues"
+                    f"{whose}sync of [{pos}, {end}) on rank {self.rank} "
+                    f"abandoned after {req.requeues} re-queues"
                 )
             )
 

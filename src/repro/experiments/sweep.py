@@ -47,6 +47,7 @@ import time
 from pathlib import Path
 
 from repro import chaos
+from repro import fleet as fleetmod
 from repro.experiments import faultsweep, figures
 from repro.experiments.parallel import SweepError, SweepRunner
 from repro.experiments.report import (
@@ -134,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict --faults to these scenarios (repeatable; default: all)",
     )
     p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the multi-job fleet sweep: many jobs share one simulated "
+        "cluster; per-job rows stream into the result cache as jobs complete",
+    )
+    p.add_argument(
+        "--fleet-size",
+        type=int,
+        action="append",
+        help="fleet size(s) to run (with --fleet; repeatable; default: 64)",
+    )
+    p.add_argument(
+        "--fleet-chaos",
+        action="store_true",
+        help="run seeded infra-fault schedules against a small fleet with "
+        "the invariant monitor and per-job byte-conservation audits on",
+    )
+    p.add_argument(
         "--chaos",
         action="store_true",
         help="run seeded randomized fault schedules under the invariant "
@@ -156,9 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def make_runner(
-    args: argparse.Namespace, faults: bool = False, chaos_mode: bool = False
+    args: argparse.Namespace,
+    faults: bool = False,
+    chaos_mode: bool = False,
+    fleet_mode: bool = False,
 ) -> SweepRunner:
-    if chaos_mode:
+    if fleet_mode:
+        result_cls = fleetmod.FleetResult
+    elif chaos_mode:
         result_cls = chaos.ChaosTrialResult
     elif faults:
         result_cls = faultsweep.FaultExperimentResult
@@ -183,7 +207,12 @@ def make_runner(
             print(line, file=sys.stderr, flush=True)
 
     kwargs = {}
-    if chaos_mode:
+    if fleet_mode:
+        kwargs.update(
+            worker=fleetmod.runner._run_fleet_point,
+            resolver=fleetmod.resolve_fleet_config,
+        )
+    elif chaos_mode:
         kwargs.update(
             worker=chaos.runner._run_chaos_point,
             resolver=chaos.runner.resolve_chaos_config,
@@ -277,6 +306,44 @@ def run_faults(args: argparse.Namespace, runner: SweepRunner) -> int:
     return 0
 
 
+def run_fleet_sweep(args: argparse.Namespace, runner: SweepRunner) -> int:
+    scale = args.scale if args.scale is not None else default_scale()
+    sizes = args.fleet_size or [64]
+    specs = [fleetmod.FleetSpec(fleet_size=n, scale=scale) for n in sizes]
+    results = runner.run(specs)
+    table = fleetmod.render_fleet_table(results)
+    if args.output_dir:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "fleet.txt"
+        path.write_text(table + "\n")
+        print(f"wrote {path}")
+    else:
+        print(table)
+    failed = sum(r.summary["failed"] for r in results)
+    if failed:
+        print(f"FLEET FAILURE: {failed} job(s) did not finish cleanly", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_fleet_chaos_sweep(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else default_scale()
+    status = 0
+    for seed in range(args.base_seed, args.base_seed + args.seeds):
+        r = fleetmod.run_fleet_chaos(fleet_size=8, seed=seed, scale=scale)
+        line = (
+            f"fleet-chaos seed {seed}: faults={r.faults_injected} "
+            f"jobs={r.statuses} {'OK' if r.ok else 'FAIL'}"
+        )
+        print(line, file=sys.stderr, flush=True)
+        if not r.ok:
+            status = 1
+            for v in r.violations[:10]:
+                print(f"  {v}", file=sys.stderr)
+    return status
+
+
 def run_chaos(args: argparse.Namespace, runner: SweepRunner) -> int:
     scale = args.scale if args.scale is not None else default_scale()
     benchmarks = tuple(args.benchmark or ("ior",))
@@ -336,12 +403,18 @@ def main(argv=None) -> int:
             "slower than --jobs 1 (process-pool overhead, no parallelism)",
             file=sys.stderr,
         )
-    runner = make_runner(args, faults=args.faults, chaos_mode=args.chaos)
+    runner = make_runner(
+        args, faults=args.faults, chaos_mode=args.chaos, fleet_mode=args.fleet
+    )
     scale = args.scale if args.scale is not None else default_scale()
     aggs, cbs = grid(args)
     t0 = time.monotonic()
     try:
-        if args.chaos:
+        if args.fleet_chaos:
+            status = run_fleet_chaos_sweep(args)
+        elif args.fleet:
+            status = run_fleet_sweep(args, runner)
+        elif args.chaos:
             status = run_chaos(args, runner)
         elif args.faults:
             status = run_faults(args, runner)

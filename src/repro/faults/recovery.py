@@ -117,7 +117,7 @@ class CacheRecoveryRegistry:
         cfg = self.machine.config
         if rank % cfg.procs_per_node != 0:
             return
-        node_id = rank // cfg.procs_per_node
+        node_id = self.machine.node_of_rank(rank)
         mine = [j for j in self.entries(fd.path) if j.node_id == node_id]
         if not mine:
             return

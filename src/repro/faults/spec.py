@@ -110,6 +110,7 @@ class FaultSchedule:
         num_nodes: int | None = None,
         num_servers: int | None = None,
         num_ranks: int | None = None,
+        job: str | None = None,
     ) -> "FaultSchedule":
         """Reject schedules that would mis-execute instead of failing fast.
 
@@ -123,15 +124,22 @@ class FaultSchedule:
         * event-driven specs name a non-empty event.
 
         Bounds are only enforced for dimensions the caller provides.
-        Returns ``self`` so callers can chain it.
+        ``job`` (a fleet job label) prefixes every message so a failure in
+        a multi-job schedule is attributable.  Returns ``self`` so callers
+        can chain it.
         """
         seen_loss: set[int] = set()
+        prefix = f"job {job}: " if job is not None else ""
         for i, spec in enumerate(self.faults):
-            where = f"faults[{i}] ({spec.kind})"
+            where = f"{prefix}faults[{i}] ({spec.kind})"
             # Normally unreachable (FaultSpec's own ctor rejects these), but
             # kept so a schedule assembled by any other means fails here too.
             if spec.start < 0 or spec.delay < 0 or spec.duration < 0:
-                raise ValueError(f"{where}: negative trigger time or duration")
+                raise ValueError(
+                    f"{where}: negative trigger time or duration "
+                    f"(start={spec.start}, delay={spec.delay}, "
+                    f"duration={spec.duration})"
+                )
             if spec.kind in ("ssd_io_error", "ssd_device_loss"):
                 if num_nodes is not None and spec.target >= num_nodes:
                     raise ValueError(

@@ -1,0 +1,62 @@
+"""Seeded job-arrival processes for fleet runs.
+
+Two modes, both deterministic given the fleet seed:
+
+* **Poisson** — exponential interarrivals drawn from the machine's named
+  RNG stream ``fleet.arrivals`` (sha256(seed:name)-seeded, so the arrival
+  timeline is a pure function of the fleet seed and independent of every
+  other stream consumer);
+* **trace-driven** — an explicit tuple of arrival offsets, cycled and
+  accumulated when shorter than the fleet (a recorded submission log can
+  drive a larger synthetic fleet).
+
+Arrival draws are continuous, so two jobs arriving at the same instant is a
+measure-zero event — the same argument the chaos harness uses for fault
+windows — which keeps cross-job event ordering unambiguous and the fleet
+timeline byte-identical across engines and data planes.
+
+Paper correspondence: none (fleet extension).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+ARRIVAL_STREAM = "fleet.arrivals"
+
+
+def arrival_times(
+    rng_streams,
+    count: int,
+    mean_interarrival: float,
+    trace: Sequence[float] = (),
+) -> list[float]:
+    """Absolute submit times for ``count`` jobs, non-decreasing.
+
+    ``trace`` entries are *interarrival gaps* (seconds since the previous
+    submission); when given, they override the Poisson draw and are cycled
+    to cover the fleet.
+    """
+    if count <= 0:
+        return []
+    if trace:
+        gaps = [float(trace[i % len(trace)]) for i in range(count)]
+        for i, gap in enumerate(gaps):
+            if gap < 0:
+                raise ValueError(
+                    f"arrival_trace[{i % len(trace)}]={gap}: gaps must be >= 0"
+                )
+    else:
+        if mean_interarrival <= 0:
+            raise ValueError(
+                f"arrival_mean={mean_interarrival}: must be positive for "
+                "Poisson arrivals (or supply an arrival_trace)"
+            )
+        rng = rng_streams.stream(ARRIVAL_STREAM)
+        gaps = [float(g) for g in rng.exponential(mean_interarrival, size=count)]
+    times = []
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        times.append(now)
+    return times

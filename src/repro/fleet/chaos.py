@@ -1,0 +1,161 @@
+"""Fleet × chaos integration: a multi-job fleet under random infra faults.
+
+One seeded schedule from the chaos generator — restricted to *windowed
+infrastructure* faults (SSD error windows, device losses, server stalls,
+link degradation; ``crash_probability=0``) — runs against a small fleet on
+one shared machine, with:
+
+* the machine-level :class:`~repro.chaos.invariants.InvariantMonitor`
+  attached (stripe-lock coherence, the no-progress watchdog, and the
+  machine ledgers — identically zero in a fleet, where every byte is
+  accounted in per-job views);
+* a **per-job byte-conservation audit**: each completed job's private
+  ``io_stats`` ledger and journal registry must close the same conservation
+  equations the single-job monitor checks — application bytes split exactly
+  into cached + direct, cached bytes leave exactly once (flushed, replayed,
+  discarded, or still journaled), and reported losses never exceed what the
+  journals still hold.
+
+Crash faults are excluded by construction: ``aggregator_crash`` targets the
+injector's machine-wide rank registry, which successive fleet jobs
+overwrite — a fleet-aware crash router is future work (see ROADMAP).  The
+infra fault kinds act on *physical* targets (nodes, servers, links), which
+is exactly what a shared cluster degrades.
+
+Paper correspondence: none (robustness harness for the fleet extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.generate import ChaosConfig, generate_schedule
+from repro.chaos.invariants import InvariantMonitor
+from repro.config import ClusterConfig
+from repro.fleet.runner import FleetResult, FleetSpec, resolve_fleet_config, run_fleet
+from repro.sim.core import DeadlockError
+
+
+@dataclass
+class FleetChaosResult:
+    """Outcome of one fleet chaos trial."""
+
+    seed: int
+    fleet: FleetResult
+    violations: list = field(default_factory=list)
+    faults_injected: int = 0
+    statuses: dict = field(default_factory=dict)  # status -> job count
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def fleet_chaos_schedule(spec: FleetSpec, config: ClusterConfig, seed: int, max_faults: int = 3):
+    """A seeded, crash-free (infra-only) schedule sized to the fleet cluster."""
+    chaos_cfg = ChaosConfig(
+        num_nodes=config.num_nodes,
+        num_servers=config.pfs.num_data_servers,
+        num_ranks=config.num_ranks,
+        num_files=spec.num_files,
+        max_faults=max_faults,
+        crash_probability=0.0,
+    )
+    return generate_schedule(chaos_cfg, seed)
+
+
+def audit_job_conservation(label: str, io: dict, journals) -> list[str]:
+    """Per-job byte-conservation violations (empty list = clean).
+
+    The same equations as the single-job monitor's quiescent audit, applied
+    to one job's private ledger and journal registry.
+    """
+    out: list[str] = []
+    if io["bytes_app"] != io["bytes_cached"] + io["bytes_direct"]:
+        out.append(
+            f"job {label}: inflow: bytes_app={io['bytes_app']} != "
+            f"bytes_cached={io['bytes_cached']} + bytes_direct={io['bytes_direct']}"
+        )
+    unflushed = sum(j.unflushed_bytes for j in journals)
+    accounted = (
+        io["bytes_flushed"]
+        + io["bytes_replayed"]
+        + io["bytes_discarded"]
+        + unflushed
+    )
+    if io["bytes_cached"] != accounted:
+        out.append(
+            f"job {label}: outflow: bytes_cached={io['bytes_cached']} != "
+            f"flushed {io['bytes_flushed']} + replayed {io['bytes_replayed']} + "
+            f"discarded {io['bytes_discarded']} + journaled {unflushed}"
+        )
+    if io["bytes_lost"] > unflushed:
+        out.append(
+            f"job {label}: loss accounting: bytes_lost={io['bytes_lost']} "
+            f"exceeds the {unflushed} bytes still journaled"
+        )
+    return out
+
+
+def run_fleet_chaos(
+    fleet_size: int = 8,
+    seed: int = 0,
+    scale: float = 1.0,
+    max_faults: int = 3,
+    config: Optional[ClusterConfig] = None,
+    fleet_seed: int = 2016,
+) -> FleetChaosResult:
+    """Run one fleet chaos trial; violations make ``result.ok`` false."""
+    spec = FleetSpec(
+        fleet_size=fleet_size,
+        num_nodes=8,
+        procs_per_node=2,
+        job_nodes=(1, 2),
+        scale=scale,
+        seed=fleet_seed,
+    )
+    cfg = resolve_fleet_config(spec, config)
+    schedule = fleet_chaos_schedule(spec, cfg, seed, max_faults=max_faults)
+    violations: list[str] = []
+    statuses: dict[str, int] = {}
+    state: dict = {}
+    finished: list = []
+
+    def on_machine(machine):
+        monitor = InvariantMonitor(machine)
+        monitor.watch()
+        state["machine"] = machine
+        state["monitor"] = monitor
+
+    def on_complete(job, view, row):
+        statuses[row.status] = statuses.get(row.status, 0) + 1
+        # Completed-job snapshot: the inflow equation and loss bound must
+        # already hold; the outflow equation is re-audited at quiescence
+        # (an aborted job's background flush may still be in flight here).
+        finished.append((view.job_label, view))
+
+    fleet = run_fleet(
+        spec,
+        config=cfg,
+        faults=schedule,
+        on_complete=on_complete,
+        on_machine=on_machine,
+    )
+    monitor = state["monitor"]
+    try:
+        monitor.drain()
+    except DeadlockError as exc:
+        violations.append(f"deadlock during drain: {exc}")
+    violations.extend(monitor.check_quiescent())
+    for label, view in finished:
+        violations.extend(
+            audit_job_conservation(label, view.io_stats, view.recovery.entries())
+        )
+    return FleetChaosResult(
+        seed=seed,
+        fleet=fleet,
+        violations=violations,
+        faults_injected=len(schedule.faults),
+        statuses=statuses,
+    )

@@ -1,0 +1,72 @@
+"""Interference metrics over a fleet's per-job results.
+
+Percentiles use the nearest-rank method on the sorted sample — integer
+index arithmetic only, so aggregates are bit-stable across platforms and
+safe to compare byte-for-byte in the determinism tests.
+
+Paper correspondence: none (fleet extension); the degraded-bandwidth ratio
+generalises the paper's solo perceived-bandwidth metric (Eq. 2) to a
+contended cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize_jobs(jobs) -> dict:
+    """Aggregate queue/wall/stretch/degradation metrics over job results.
+
+    ``jobs`` is a sequence of :class:`~repro.fleet.runner.FleetJobResult`.
+    Stretch and degradation aggregates cover only jobs that finished
+    cleanly (a crashed job's wall time is a teardown artifact, not a
+    service time).
+    """
+    if not jobs:
+        return {
+            "jobs": 0,
+            "ok": 0,
+            "failed": 0,
+            "queue_wait_mean": 0.0,
+            "queue_wait_max": 0.0,
+            "wall_p50": 0.0,
+            "wall_p95": 0.0,
+            "wall_p99": 0.0,
+            "stretch_mean": 0.0,
+            "stretch_p95": 0.0,
+            "stretch_max": 0.0,
+            "degraded_bw_mean": 0.0,
+            "degraded_bw_min": 0.0,
+        }
+    ok = [j for j in jobs if j.status == "ok"]
+    waits = [j.queue_wait for j in jobs]
+    walls = [j.wall_time for j in ok] or [0.0]
+    stretches = [j.stretch for j in ok] or [0.0]
+    ratios = [j.degraded_bw for j in ok if j.degraded_bw > 0] or [0.0]
+    return {
+        "jobs": len(jobs),
+        "ok": len(ok),
+        "failed": len(jobs) - len(ok),
+        "queue_wait_mean": sum(waits) / len(waits),
+        "queue_wait_max": max(waits),
+        "wall_p50": percentile(walls, 50),
+        "wall_p95": percentile(walls, 95),
+        "wall_p99": percentile(walls, 99),
+        "stretch_mean": sum(stretches) / len(stretches),
+        "stretch_p95": percentile(stretches, 95),
+        "stretch_max": max(stretches),
+        "degraded_bw_mean": sum(ratios) / len(ratios),
+        "degraded_bw_min": min(ratios),
+    }

@@ -1,0 +1,474 @@
+"""Fleet execution: many jobs, one shared simulated machine.
+
+``run_fleet`` builds one :class:`~repro.machine.Machine`, draws the seeded
+arrival timeline, and admits every job through the FIFO/backfill scheduler
+into the *same* simulation.  Each admitted job runs inside a
+:class:`~repro.fleet.view.JobView` (its own rank namespace, PFS clients,
+journals and byte ledgers) while contending with every other job for the
+shared PFS servers, fabric links and node SSDs.  A per-job supervisor
+process mirrors the chaos harness's phase supervision: it waits on the
+job's rank processes, classifies a failure (sync loss vs. injected fault),
+interrupts the survivors, and releases the job's nodes back to the
+scheduler.
+
+Interference metrics compare each job against a memoized *solo reference* —
+the same job alone on an identical, fresh cluster — giving queue wait,
+stretch ((wait + wall) / solo wall) and degraded bandwidth (contended /
+solo perceived bandwidth).
+
+Per-job rows stream into the content-addressed result cache *as jobs
+complete* (``row_cache``), so a partially finished fleet sweep already has
+every completed job's row on disk; the fleet-level aggregate is cached by
+the sweep runner like any other measurement point.
+
+Determinism: one fleet point is one deterministic simulation — the
+timeline is byte-identical across engines (``REPRO_ENGINE``) and data
+planes (``REPRO_DATAPLANE``); only the diagnostic ``events`` count differs,
+and :meth:`FleetResult.identity` excludes it.
+
+Paper correspondence: none (fleet extension); generalises the §IV
+single-job measurements to a multi-tenant cluster.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.bandwidth import perceived_bandwidth
+from repro.config import ClusterConfig, small_testbed
+from repro.experiments.resultcache import ResultCache
+from repro.faults.errors import FaultError, JobAborted, SyncFailedError
+from repro.faults.spec import FaultSchedule
+from repro.fleet.arrivals import arrival_times
+from repro.fleet.job import (
+    FleetJobSpec,
+    JOB_BENCHMARKS,
+    JOB_CACHE_MODES,
+    build_job_workload,
+    job_hints,
+)
+from repro.fleet.metrics import summarize_jobs
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.view import JobView
+from repro.machine import Machine
+from repro.mpi.process import MPIWorld
+from repro.romio.file import MPIIOLayer
+from repro.sim.core import Event
+from repro.workloads.phases import multi_phase_body
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet measurement point (frozen: hashable, cache-keyable).
+
+    ``benchmark``/``cache_mode`` may name a single value or ``"mixed"``,
+    which cycles the full axis across jobs; ``job_nodes`` cycles node
+    requests the same way, so a default fleet mixes narrow and wide jobs.
+    """
+
+    fleet_size: int = 64
+    num_nodes: int = 16
+    procs_per_node: int = 2
+    benchmark: str = "mixed"
+    cache_mode: str = "mixed"
+    arrival_mean: float = 0.002  # mean Poisson interarrival [sim s]
+    arrival_trace: tuple = ()  # explicit interarrival gaps (overrides Poisson)
+    backfill: bool = True
+    job_nodes: tuple = (1, 2, 4)
+    num_files: int = 2
+    compute_delay: float = 0.02
+    scale: float = 1.0
+    seed: int = 2016
+
+    def __post_init__(self):
+        if self.fleet_size <= 0:
+            raise ValueError(f"fleet_size={self.fleet_size}: must be positive")
+        if self.benchmark != "mixed" and self.benchmark not in JOB_BENCHMARKS:
+            raise ValueError(
+                f"benchmark={self.benchmark!r}: expected 'mixed' or one of "
+                f"{JOB_BENCHMARKS}"
+            )
+        if self.cache_mode != "mixed" and self.cache_mode not in JOB_CACHE_MODES:
+            raise ValueError(
+                f"cache_mode={self.cache_mode!r}: expected 'mixed' or one of "
+                f"{JOB_CACHE_MODES}"
+            )
+        if not isinstance(self.job_nodes, tuple):
+            object.__setattr__(self, "job_nodes", tuple(self.job_nodes))
+        if not isinstance(self.arrival_trace, tuple):
+            object.__setattr__(self, "arrival_trace", tuple(self.arrival_trace))
+        if not self.job_nodes:
+            raise ValueError("job_nodes: must name at least one node count")
+        for n in self.job_nodes:
+            if not 0 < n <= self.num_nodes:
+                raise ValueError(
+                    f"job_nodes entry {n}: outside the {self.num_nodes}-node cluster"
+                )
+
+    @property
+    def label(self) -> str:
+        return f"f{self.fleet_size}"
+
+
+@dataclass(frozen=True)
+class FleetRowSpec:
+    """Cache key for one streamed per-job row: the fleet point + job id."""
+
+    fleet: FleetSpec
+    job_id: int
+
+    # The sweep progress printer reads these off any spec it reports.
+    @property
+    def benchmark(self) -> str:
+        return self.fleet.benchmark
+
+    @property
+    def cache_mode(self) -> str:
+        return self.fleet.cache_mode
+
+    @property
+    def label(self) -> str:
+        return f"{self.fleet.label}.j{self.job_id}"
+
+
+@dataclass
+class FleetJobResult:
+    """One job's fleet outcome + interference metrics."""
+
+    job_id: int
+    benchmark: str
+    cache_mode: str
+    nodes: int
+    num_ranks: int
+    placement: tuple
+    status: str  # "ok" | "loss" | "fault"
+    submit_time: float
+    start_time: float
+    end_time: float
+    queue_wait: float
+    wall_time: float
+    bandwidth: float  # contended perceived bandwidth [B/s] (0 on failure)
+    solo_wall: float
+    solo_bandwidth: float
+    stretch: float  # (queue_wait + wall_time) / solo_wall
+    degraded_bw: float  # bandwidth / solo_bandwidth
+    bytes_app: int
+    bytes_flushed: int
+    bytes_direct: int
+    bytes_lost: int
+    fabric_bytes: float  # fabric bytes moved under this job's tag
+    pfs_rpcs: int  # data-server RPCs served under this job's tag
+    pfs_bytes: int
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["placement"] = list(self.placement)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetJobResult":
+        fields_ = dict(d)
+        fields_["placement"] = tuple(fields_.get("placement", ()))
+        return cls(**fields_)
+
+
+@dataclass
+class FleetResult:
+    """One fleet point: every job row plus scheduler/aggregate metrics."""
+
+    spec: FleetSpec
+    jobs: list = field(default_factory=list)  # FleetJobResult, by job_id
+    makespan: float = 0.0  # last job end [sim s]
+    summary: dict = field(default_factory=dict)  # summarize_jobs output
+    backfilled: int = 0  # jobs started past a blocked FIFO head
+    streamed_rows: int = 0  # per-job rows written to the row cache
+    # Diagnostics — engine/data-plane dependent, excluded from identity().
+    events: int = 0
+    dataplane: str = ""
+    engine: str = ""
+
+    def identity(self) -> dict:
+        """The determinism contract: everything but the diagnostics."""
+        return {
+            "spec": asdict(self.spec),
+            "jobs": [j.to_dict() for j in self.jobs],
+            "makespan": self.makespan,
+            "summary": self.summary,
+            "backfilled": self.backfilled,
+        }
+
+    def to_dict(self) -> dict:
+        d = self.identity()
+        d.update(
+            streamed_rows=self.streamed_rows,
+            events=self.events,
+            dataplane=self.dataplane,
+            engine=self.engine,
+        )
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetResult":
+        fields_ = dict(d)
+        spec = dict(fields_["spec"])
+        spec["arrival_trace"] = tuple(spec.get("arrival_trace", ()))
+        spec["job_nodes"] = tuple(spec.get("job_nodes", ()))
+        fields_["spec"] = FleetSpec(**spec)
+        fields_["jobs"] = [FleetJobResult.from_dict(j) for j in fields_.get("jobs", [])]
+        return cls(**fields_)
+
+
+# -- spec expansion ----------------------------------------------------------
+def fleet_job_specs(spec: FleetSpec) -> list[FleetJobSpec]:
+    """The deterministic job list for a fleet (axes cycled per job id)."""
+    benches = JOB_BENCHMARKS if spec.benchmark == "mixed" else (spec.benchmark,)
+    modes = JOB_CACHE_MODES if spec.cache_mode == "mixed" else (spec.cache_mode,)
+    return [
+        FleetJobSpec(
+            job_id=i,
+            benchmark=benches[i % len(benches)],
+            cache_mode=modes[i % len(modes)],
+            nodes=spec.job_nodes[i % len(spec.job_nodes)],
+            num_files=spec.num_files,
+            compute_delay=spec.compute_delay,
+            scale=spec.scale,
+            seed=spec.seed,
+        )
+        for i in range(spec.fleet_size)
+    ]
+
+
+def resolve_fleet_config(
+    spec: FleetSpec, config: Optional[ClusterConfig] = None
+) -> ClusterConfig:
+    """The cluster a fleet spec runs on (also keys the result cache)."""
+    if config is not None:
+        return config
+    return small_testbed(
+        num_nodes=spec.num_nodes, procs_per_node=spec.procs_per_node, seed=spec.seed
+    )
+
+
+def default_row_cache() -> ResultCache:
+    """Row-stream cache honouring ``REPRO_CACHE``/``REPRO_CACHE_DIR``."""
+    enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+    return ResultCache(enabled=enabled, result_cls=FleetJobResult)
+
+
+# -- job execution -----------------------------------------------------------
+def _job_body(view: JobView, job: FleetJobSpec):
+    """Generator: run one job inside its view; returns (status, bandwidth).
+
+    Mirrors the chaos harness's phase supervision: wait on every rank, and
+    on failure classify it (sync loss vs. injected fault), interrupt the
+    survivors with :class:`JobAborted`, and drain them so the job's nodes
+    are genuinely idle when the caller releases them.
+    """
+    sim = view.sim
+    world = MPIWorld(view)
+    world.transport.tag = view.job_label
+    layer = MPIIOLayer(view, world.comm, driver="beegfs", exchange_mode="model")
+    workload = build_job_workload(job, view.config.num_ranks)
+    body = multi_phase_body(
+        layer,
+        workload,
+        job_hints(job),
+        num_files=job.num_files,
+        compute_delay=job.compute_delay,
+        deferred_close=job.cache_mode == "enabled",
+        file_prefix=f"/global/fleet/{view.job_label}/out_",
+    )
+    procs = world.spawn(body)
+    try:
+        timings = yield sim.all_of(procs)
+    except SyncFailedError as exc:
+        status, cause = "loss", exc
+    except FaultError as exc:
+        status, cause = "fault", exc
+    else:
+        bandwidth = perceived_bandwidth(
+            timings,
+            workload.file_size,
+            include_last_phase=job.benchmark == "ior",
+        )
+        return "ok", bandwidth
+    for proc in procs:
+        if proc.is_alive:
+            proc.interrupt(JobAborted(cause))
+    for proc in procs:
+        try:
+            yield proc  # already-fired processes re-kick; failures raise
+        except Exception:
+            pass
+    # Parked sync threads of files the abort left open would otherwise
+    # wait on their queues forever; they exit cleanly on Interrupt.
+    for daemon in view.daemons:
+        if daemon.is_alive:
+            daemon.interrupt(JobAborted(cause))
+    return status, 0.0
+
+
+def _solo_reference(
+    job: FleetJobSpec, config: ClusterConfig, dataplane: Optional[str]
+) -> tuple[float, float]:
+    """(wall, bandwidth) of the job alone on a fresh identical cluster."""
+    machine = Machine(config, dataplane=dataplane)
+    view = JobView(machine, job.job_id, tuple(range(job.nodes)), label="solo")
+    out: dict[str, float] = {}
+
+    def body():
+        t0 = machine.sim.now
+        status, bandwidth = yield from _job_body(view, job)
+        out["wall"] = machine.sim.now - t0
+        out["bandwidth"] = bandwidth if status == "ok" else 0.0
+
+    machine.sim.run(until=machine.sim.process(body(), name="fleet.solo"))
+    return out["wall"], out["bandwidth"]
+
+
+# -- the fleet run -----------------------------------------------------------
+def run_fleet(
+    spec: FleetSpec,
+    config: Optional[ClusterConfig] = None,
+    dataplane: Optional[str] = None,
+    trace: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    row_cache: Optional[ResultCache] = None,
+    on_complete: Optional[Callable] = None,
+    on_machine: Optional[Callable] = None,
+) -> FleetResult:
+    """Run one fleet point to completion and return its result.
+
+    ``row_cache`` streams each :class:`FleetJobResult` to disk the moment
+    its job completes; ``on_complete(job, view, row)`` additionally exposes
+    the job's :class:`JobView` to callers that audit per-job state, and
+    ``on_machine(machine)`` fires right after the shared machine is built —
+    the fleet chaos smoke uses both to attach its invariant monitor and
+    run its per-job byte-conservation audit.
+    """
+    cfg = resolve_fleet_config(spec, config)
+    jobs = fleet_job_specs(spec)
+    if faults is not None:
+        faults.validate(
+            num_nodes=cfg.num_nodes,
+            num_servers=cfg.pfs.num_data_servers,
+            num_ranks=cfg.num_ranks,
+        )
+
+    # Solo references first, one fresh machine per distinct job shape.
+    solo: dict[tuple, tuple[float, float]] = {}
+    for job in jobs:
+        if job.shape_key not in solo:
+            solo[job.shape_key] = _solo_reference(job, cfg, dataplane)
+
+    machine = Machine(cfg, trace=trace, faults=faults, dataplane=dataplane)
+    if on_machine is not None:
+        on_machine(machine)
+    sim = machine.sim
+    submit_at: dict[int, float] = {}
+    rows: dict[int, FleetJobResult] = {}
+    result = FleetResult(
+        spec=spec,
+        dataplane=machine.dataplane,
+        engine=os.environ.get("REPRO_ENGINE", "slotted"),
+    )
+    fleet_done = Event(sim, name="fleet.done")
+
+    def _supervise(job: FleetJobSpec, view: JobView, placement):
+        start = sim.now
+        status, bandwidth = yield from _job_body(view, job)
+        end = sim.now
+        solo_wall, solo_bw = solo[job.shape_key]
+        queue_wait = start - submit_at[job.job_id]
+        wall = end - start
+        servers = machine.pfs.servers
+        row = FleetJobResult(
+            job_id=job.job_id,
+            benchmark=job.benchmark,
+            cache_mode=job.cache_mode,
+            nodes=job.nodes,
+            num_ranks=view.config.num_ranks,
+            placement=placement,
+            status=status,
+            submit_time=submit_at[job.job_id],
+            start_time=start,
+            end_time=end,
+            queue_wait=queue_wait,
+            wall_time=wall,
+            bandwidth=bandwidth,
+            solo_wall=solo_wall,
+            solo_bandwidth=solo_bw,
+            stretch=(queue_wait + wall) / solo_wall if solo_wall > 0 else 0.0,
+            degraded_bw=bandwidth / solo_bw if solo_bw > 0 else 0.0,
+            bytes_app=view.io_stats["bytes_app"],
+            bytes_flushed=view.io_stats["bytes_flushed"],
+            bytes_direct=view.io_stats["bytes_direct"],
+            bytes_lost=view.io_stats["bytes_lost"],
+            fabric_bytes=machine.fabric.bytes_moved_by_tag.get(view.job_label, 0.0),
+            pfs_rpcs=sum(s.rpcs_by_tag.get(view.job_label, 0) for s in servers),
+            pfs_bytes=sum(s.bytes_by_tag.get(view.job_label, 0) for s in servers),
+        )
+        rows[job.job_id] = row
+        if row_cache is not None:
+            if row_cache.put(FleetRowSpec(spec, job.job_id), cfg, row) is not None:
+                result.streamed_rows += 1
+        if on_complete is not None:
+            on_complete(job, view, row)
+        scheduler.release(placement)
+        if len(rows) == len(jobs):
+            fleet_done.succeed()
+
+    def _launch(job: FleetJobSpec, placement):
+        view = JobView(machine, job.job_id, placement)
+        sim.process(_supervise(job, view, placement), name=f"fleet.{job.label}")
+
+    scheduler = FleetScheduler(cfg.num_nodes, _launch, backfill=spec.backfill)
+    times = arrival_times(
+        machine.rng, len(jobs), spec.arrival_mean, spec.arrival_trace
+    )
+
+    def _arrivals():
+        for when, job in zip(times, jobs):
+            delay = when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            submit_at[job.job_id] = sim.now
+            scheduler.submit(job)
+
+    sim.process(_arrivals(), name="fleet.arrivals")
+    sim.run(until=fleet_done)
+
+    result.jobs = [rows[i] for i in sorted(rows)]
+    result.makespan = max(r.end_time for r in result.jobs)
+    result.summary = summarize_jobs(result.jobs)
+    result.backfilled = scheduler.backfilled
+    result.events = sim.events_fired
+    return result
+
+
+def _run_fleet_point(spec: FleetSpec, config: Optional[ClusterConfig] = None):
+    """Module-level sweep worker (picklable); streams rows to the cache."""
+    return run_fleet(spec, config=config, row_cache=default_row_cache())
+
+
+# -- reporting ---------------------------------------------------------------
+def render_fleet_table(results) -> str:
+    """One row per fleet point: scheduler + interference aggregates."""
+    header = (
+        f"{'fleet':>6s} {'jobs':>5s} {'fail':>4s} {'makespan':>9s} "
+        f"{'wait.avg':>9s} {'wall.p50':>9s} {'wall.p95':>9s} {'wall.p99':>9s} "
+        f"{'stretch.p95':>11s} {'bw.degr':>8s} {'backfill':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        s = r.summary
+        lines.append(
+            f"{r.spec.label:>6s} {s['jobs']:>5d} {s['failed']:>4d} "
+            f"{r.makespan:>9.4f} {s['queue_wait_mean']:>9.4f} "
+            f"{s['wall_p50']:>9.4f} {s['wall_p95']:>9.4f} {s['wall_p99']:>9.4f} "
+            f"{s['stretch_p95']:>11.2f} {s['degraded_bw_mean']:>8.3f} "
+            f"{r.backfilled:>8d}"
+        )
+    return "\n".join(lines)

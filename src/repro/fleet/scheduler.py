@@ -1,0 +1,91 @@
+"""FIFO/backfill job scheduler with a lowest-first node allocator.
+
+The scheduler owns the cluster's free-node pool.  Jobs are queued in
+arrival order; whenever nodes free up (or a job arrives) the queue is
+rescanned:
+
+* **FIFO** (``backfill=False``) — only the head of the queue may start; a
+  wide job at the head blocks everything behind it until it fits.
+* **backfill** (the default) — any queued job that fits the current free
+  pool starts immediately, in queue order (opportunistic backfill without
+  reservations — small jobs slide past a blocked wide head).
+
+Allocation is lowest-free-node-ids-first, which is deterministic and makes
+placements reproducible across runs; released nodes re-sort into the pool.
+
+Paper correspondence: none (fleet extension); stands in for the batch
+scheduler in front of the paper's shared testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class FleetScheduler:
+    """Admission queue + node allocator for one fleet run.
+
+    ``launch(job, placement)`` is called synchronously the moment a job is
+    granted nodes; the runner uses it to start the job's rank processes in
+    the shared simulation.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        launch: Callable,
+        backfill: bool = True,
+    ):
+        self.num_nodes = num_nodes
+        self.free: list[int] = list(range(num_nodes))  # kept sorted
+        self.queue: list = []  # pending jobs, arrival order
+        self.launch = launch
+        self.backfill = backfill
+        self.running = 0
+        self.started = 0
+        self.backfilled = 0  # jobs started past a blocked queue head
+
+    def submit(self, job) -> None:
+        """Queue a job (``job.nodes`` is its node request) and try to start."""
+        if job.nodes > self.num_nodes:
+            raise ValueError(
+                f"job {job.job_id}: requests {job.nodes} nodes, but the "
+                f"cluster has {self.num_nodes}"
+            )
+        self.queue.append(job)
+        self._try_start()
+
+    def release(self, placement) -> None:
+        """Return a finished job's nodes to the pool and re-scan the queue."""
+        self.free.extend(placement)
+        self.free.sort()
+        self.running -= 1
+        self._try_start()
+
+    def _alloc(self, count: int) -> Optional[tuple[int, ...]]:
+        if count > len(self.free):
+            return None
+        placement = tuple(self.free[:count])
+        del self.free[:count]
+        return placement
+
+    def _try_start(self) -> None:
+        i = 0
+        while i < len(self.queue):
+            job = self.queue[i]
+            placement = self._alloc(job.nodes)
+            if placement is not None:
+                del self.queue[i]
+                self.running += 1
+                self.started += 1
+                if i > 0:
+                    self.backfilled += 1
+                self.launch(job, placement)
+                continue  # queue[i] is now the next job; re-examine it
+            if not self.backfill:
+                return  # strict FIFO: a blocked head blocks the queue
+            i += 1
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue and self.running == 0

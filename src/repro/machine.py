@@ -100,18 +100,31 @@ class Machine:
             server.target.fast_path = bulk
         self.pfs.dataplane_bulk = bulk
         self.faults = FaultInjector(self, faults) if faults else None
+        # Multi-job runs (repro.fleet) wrap this machine in per-job views
+        # that override job_label and node_of_rank; single-job code paths
+        # see the defaults below and behave exactly as before.
+        self.job_label: Optional[str] = None
+
+    def node_of_rank(self, rank: int) -> int:
+        """Physical node id hosting a rank.
+
+        All node ids in the stack are physical; any rank-to-node mapping
+        must go through this method so a :class:`repro.fleet.JobView` can
+        re-point a job's (job-local) ranks at its allocated nodes.
+        """
+        return rank // self.config.procs_per_node
 
     def pfs_client(self, rank: int) -> PFSClient:
         """The (lazily created, cached) PFS client for a rank."""
         client = self._clients.get(rank)
         if client is None:
-            node_id = rank // self.config.procs_per_node
+            node_id = self.node_of_rank(rank)
             client = PFSClient(self.pfs, node_id, name=f"client.r{rank}")
             self._clients[rank] = client
         return client
 
     def local_fs_of_rank(self, rank: int) -> LocalFileSystem:
-        return self.local_fs[rank // self.config.procs_per_node]
+        return self.local_fs[self.node_of_rank(rank)]
 
     @property
     def now(self) -> float:

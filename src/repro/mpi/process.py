@@ -59,7 +59,12 @@ class MPIWorld:
         self.machine = machine
         cfg = machine.config
         nprocs = cfg.num_ranks
-        rank_to_node = [r // cfg.procs_per_node for r in range(nprocs)]
+        # Rank-to-node placement goes through the machine so a fleet
+        # JobView can place a job's ranks on its allocated physical nodes.
+        node_of = getattr(machine, "node_of_rank", None)
+        if node_of is None:
+            node_of = lambda r: r // cfg.procs_per_node  # noqa: E731
+        rank_to_node = [node_of(r) for r in range(nprocs)]
         bulk = getattr(machine, "dataplane", "chunked") == "bulk"
         self.transport = Transport(
             machine.sim,

@@ -79,9 +79,17 @@ class Flow:
     subtractions commute).
     """
 
-    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes", "weight")
+    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes", "weight", "tag")
 
-    def __init__(self, fid: int, links: list[Link], nbytes: float, done: Event, weight: int = 1):
+    def __init__(
+        self,
+        fid: int,
+        links: list[Link],
+        nbytes: float,
+        done: Event,
+        weight: int = 1,
+        tag: Optional[str] = None,
+    ):
         self.fid = fid
         self.links = links
         self.nbytes = float(nbytes)
@@ -89,6 +97,7 @@ class Flow:
         self.rate = 0.0
         self.done = done
         self.weight = weight
+        self.tag = tag
 
 
 class Fabric:
@@ -140,6 +149,9 @@ class Fabric:
         self._dirty: dict[Link, None] = {}
         self._flush_event: Optional[Event] = None
         self.bytes_moved = 0.0
+        # Per-tag byte accounting (fleet: one tag per job).  Untagged flows
+        # — the entire single-job world — never touch this dict.
+        self.bytes_moved_by_tag: dict[str, float] = {}
         self.recomputes = 0
         self.recompute_flows = 0
         self.recomputes_skipped = 0
@@ -158,6 +170,7 @@ class Fabric:
         nbytes: float,
         extra_links: tuple[Link, ...] = (),
         weight: int = 1,
+        tag: Optional[str] = None,
     ) -> Event:
         """Begin a transfer; the returned event fires when the last byte lands.
 
@@ -178,7 +191,7 @@ class Fabric:
         else:
             links = [self._out[src_node], self._in[dst_node]]
         links.extend(extra_links)
-        flow = Flow(next(self._fid), links, nbytes, done, weight=weight)
+        flow = Flow(next(self._fid), links, nbytes, done, weight=weight, tag=tag)
         if weight != 1:
             self._weighted = True
         self._flows[flow] = None
@@ -186,6 +199,10 @@ class Fabric:
         for link in links:
             link.flows[flow] = None
         self.bytes_moved += nbytes * weight
+        if tag is not None:
+            self.bytes_moved_by_tag[tag] = (
+                self.bytes_moved_by_tag.get(tag, 0.0) + nbytes * weight
+            )
         self._change(links)
         return done
 
@@ -206,6 +223,10 @@ class Fabric:
         flow.weight += 1
         self._weighted = True
         self.bytes_moved += nbytes
+        if flow.tag is not None:
+            self.bytes_moved_by_tag[flow.tag] = (
+                self.bytes_moved_by_tag.get(flow.tag, 0.0) + nbytes
+            )
         self._change(flow.links)
         return True
 

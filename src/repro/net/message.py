@@ -106,6 +106,9 @@ class Transport:
         self.rank_to_node = list(rank_to_node)
         self.per_message_overhead = float(per_message_overhead)
         self.coalesce = coalesce
+        # Per-job accounting tag (fleet): credited to every fabric flow this
+        # transport starts.  None (the single-job default) costs nothing.
+        self.tag: str | None = None
         self.mailboxes = [Mailbox(sim, r) for r in range(len(rank_to_node))]
         self._seq = 0
         self.messages_sent = 0
@@ -142,7 +145,7 @@ class Transport:
                 entry[1].append((msg, send_done))
                 self.sends_coalesced += 1
                 return send_done
-            flow_done = self.fabric.start_flow(src_node, dst_node, nbytes)
+            flow_done = self.fabric.start_flow(src_node, dst_node, nbytes, tag=self.tag)
             members = [(msg, send_done)]
             self._bundles[key] = (flow_done, members)
 
@@ -155,7 +158,7 @@ class Transport:
 
             flow_done.callbacks.append(_bundle_arrived)
             return send_done
-        flow_done = self.fabric.start_flow(src_node, dst_node, nbytes)
+        flow_done = self.fabric.start_flow(src_node, dst_node, nbytes, tag=self.tag)
 
         def _arrived(ev: Event) -> None:
             self.mailboxes[dest].deliver(msg)

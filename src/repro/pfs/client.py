@@ -69,6 +69,9 @@ class PFSClient:
         self.bytes_written = 0
         self.bytes_read = 0
         self.rpcs = 0
+        # Per-job accounting tag (fleet): threaded into every fabric flow and
+        # server RPC this client issues.  None for single-job machines.
+        self.tag: Optional[str] = None
         # Bulk data plane: same-size runs to the same server start as one
         # weighted flow instead of one flow per run (see _group_runs).
         self._bulk = getattr(pfs, "dataplane_bulk", False)
@@ -174,12 +177,13 @@ class PFSClient:
                 total,
                 extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
                 weight=len(group),
+                tag=self.tag,
             )
         ]
         for run in group:
             waits.append(
                 self.sim.process(
-                    server.serve_write(run[0].target_offset, total), name="srv-w"
+                    server.serve_write(run[0].target_offset, total, tag=self.tag), name="srv-w"
                 )
             )
         yield self.sim.all_of(waits)
@@ -199,9 +203,10 @@ class PFSClient:
             server.fabric_node,
             total,
             extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+            tag=self.tag,
         )
         srv = self.sim.process(
-            server.serve_write(run[0].target_offset, total), name="srv-w"
+            server.serve_write(run[0].target_offset, total, tag=self.tag), name="srv-w"
         )
         yield self.sim.all_of([flow, srv])
 
@@ -324,12 +329,13 @@ class PFSClient:
                 server.fabric_node,
                 total,
                 extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+                tag=self.tag,
             )
             fl.callbacks.append(lambda _ev: _serve(i))
 
         def _serve(i: int) -> None:
             server, t_off, total, run_rpcs = plan[i]
-            ev = server.serve_write_event(t_off, total, rpc_count=run_rpcs)
+            ev = server.serve_write_event(t_off, total, rpc_count=run_rpcs, tag=self.tag)
             ev.callbacks.append(lambda _ev: _next(i))
 
         def _next(i: int) -> None:
@@ -351,8 +357,9 @@ class PFSClient:
             server.fabric_node,
             total,
             extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+            tag=self.tag,
         )
-        yield from server.serve_write(target_offset, total, rpc_count=run_rpcs)
+        yield from server.serve_write(target_offset, total, rpc_count=run_rpcs, tag=self.tag)
 
     def _sync_watchdog(self) -> Optional[float]:
         """Client-side RPC timeout for the sync path, when fault injection
@@ -407,12 +414,13 @@ class PFSClient:
                 total,
                 extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
                 weight=len(group),
+                tag=self.tag,
             )
         ]
         for run in group:
             waits.append(
                 self.sim.process(
-                    server.serve_read(run[0].target_offset, total), name="srv-r"
+                    server.serve_read(run[0].target_offset, total, tag=self.tag), name="srv-r"
                 )
             )
         yield self.sim.all_of(waits)
@@ -428,8 +436,9 @@ class PFSClient:
             self.node_id,
             total,
             extra_links=(self.channel, self.pfs.ingest_link(server.server_id)),
+            tag=self.tag,
         )
         srv = self.sim.process(
-            server.serve_read(run[0].target_offset, total), name="srv-r"
+            server.serve_read(run[0].target_offset, total, tag=self.tag), name="srv-r"
         )
         yield self.sim.all_of([flow, srv])

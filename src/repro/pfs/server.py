@@ -149,10 +149,21 @@ class DataServer:
             sim, self.target, cfg.server_cache_bytes, cfg.server_drain_chunk
         )
         self.rpcs_served = 0
+        # Per-tag RPC/byte accounting (fleet: one tag per job).  Untagged
+        # RPCs — the entire single-job world — never touch these dicts.
+        self.rpcs_by_tag: dict[str, int] = {}
+        self.bytes_by_tag: dict[str, int] = {}
         self.injector = None  # set by repro.faults when a stall targets us
         self.fast_path = False  # bulk data plane: skip free-worker grant events
 
-    def serve_write(self, target_offset: int, nbytes: int, rpc_count: int = 1):
+    def _account(self, tag, nbytes: int, rpc_count: int) -> None:
+        if tag is not None:
+            self.rpcs_by_tag[tag] = self.rpcs_by_tag.get(tag, 0) + max(1, rpc_count)
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + int(nbytes)
+
+    def serve_write(
+        self, target_offset: int, nbytes: int, rpc_count: int = 1, tag: Optional[str] = None
+    ):
         """Generator: process one write RPC — worker, overhead, cache absorb.
 
         ``rpc_count > 1`` accounts for a batch of logical RPCs coalesced by
@@ -173,10 +184,13 @@ class DataServer:
             yield self.sim.timeout(overhead)
             yield from self.cache.absorb(nbytes)
             self.rpcs_served += max(1, rpc_count)
+            self._account(tag, nbytes, rpc_count)
         finally:
             self.workers.release()
 
-    def serve_write_event(self, target_offset: int, nbytes: int, rpc_count: int = 1) -> Event:
+    def serve_write_event(
+        self, target_offset: int, nbytes: int, rpc_count: int = 1, tag: Optional[str] = None
+    ) -> Event:
         """Flat variant of :meth:`serve_write` for ``sim.flat`` chains.
 
         Caller gates on ``self.injector is None`` (no stall gate to park
@@ -189,26 +203,33 @@ class DataServer:
         """
         done = Event(self.sim, name=f"srv{self.server_id}-w")
         if self.fast_path and self.workers.try_acquire():
-            self._serve_write_overhead(done, nbytes, rpc_count)
+            self._serve_write_overhead(done, nbytes, rpc_count, tag)
         else:
             req = self.workers.request()
             req.callbacks.append(
-                lambda _ev: self._serve_write_overhead(done, nbytes, rpc_count)
+                lambda _ev: self._serve_write_overhead(done, nbytes, rpc_count, tag)
             )
         return done
 
-    def _serve_write_overhead(self, done: Event, nbytes: int, rpc_count: int) -> None:
+    def _serve_write_overhead(
+        self, done: Event, nbytes: int, rpc_count: int, tag: Optional[str] = None
+    ) -> None:
         overhead = self.cfg.rpc_overhead * max(1, rpc_count)
         if self.rng is not None and self.cfg.jitter_sigma > 0:
             overhead *= self.rng.lognormal_factor(
                 f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
             )
         self.sim.call_later(
-            overhead, lambda: self._serve_write_absorb(done, nbytes, rpc_count)
+            overhead, lambda: self._serve_write_absorb(done, nbytes, rpc_count, tag=tag)
         )
 
     def _serve_write_absorb(
-        self, done: Event, nbytes: int, rpc_count: int, remaining: Optional[int] = None
+        self,
+        done: Event,
+        nbytes: int,
+        rpc_count: int,
+        remaining: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> None:
         # Same loop as WriteBackCache.absorb, continued across throttle waits
         # via callbacks instead of generator resumes.
@@ -221,7 +242,7 @@ class DataServer:
                 cache._waiters.append(ev)
                 ev.callbacks.append(
                     lambda _ev, left=remaining: self._serve_write_absorb(
-                        done, nbytes, rpc_count, left
+                        done, nbytes, rpc_count, left, tag=tag
                     )
                 )
                 return
@@ -230,10 +251,11 @@ class DataServer:
             remaining -= chunk
             cache._ensure_daemon()
         self.rpcs_served += max(1, rpc_count)
+        self._account(tag, nbytes, rpc_count)
         self.workers.release()
         done._fire_inline()
 
-    def serve_read(self, target_offset: int, nbytes: int):
+    def serve_read(self, target_offset: int, nbytes: int, tag: Optional[str] = None):
         if not (self.fast_path and self.injector is None and self.workers.try_acquire()):
             yield self.workers.request()
         try:
@@ -242,5 +264,6 @@ class DataServer:
             yield self.sim.timeout(self.cfg.rpc_overhead)
             yield from self.target.read(target_offset, nbytes)
             self.rpcs_served += 1
+            self._account(tag, nbytes, 1)
         finally:
             self.workers.release()

@@ -266,7 +266,9 @@ def _prepare_model(fd: ADIOFile, call: CollectiveCallState, cb: int) -> None:
     cross = (node_of[:, None] != agg_node[None, :]).astype(np.int64)
     crossed = sends * cross[:, :, None]  # bytes that traverse NICs
     local = sends - crossed  # intra-node bytes (shared-memory transport)
-    num_nodes = fd.machine.config.num_nodes
+    # Physical node count: a fleet JobView's config is job-sized, but the
+    # node arrays below are indexed by physical node ids.
+    num_nodes = len(fd.machine.nodes)
     out_node = np.zeros((num_nodes, ntimes))
     np.add.at(out_node, node_of, crossed.sum(axis=1))
     in_node = np.zeros((num_nodes, ntimes))

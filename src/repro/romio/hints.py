@@ -102,7 +102,9 @@ class Hints:
                 h.e10_cache = _choice(key, value, _CACHE_MODES)
             elif key == "e10_cache_path":
                 if not value.strip():
-                    raise HintError("hint e10_cache_path: must be a non-empty path")
+                    raise HintError(
+                        f"hint e10_cache_path={value!r}: must be a non-empty path"
+                    )
                 h.e10_cache_path = value
             elif key == "e10_cache_flush_flag":
                 h.e10_cache_flush_flag = _choice(key, value, _FLUSH_FLAGS)
@@ -131,8 +133,8 @@ class Hints:
             raise HintError(f"hint cb_nodes={self.cb_nodes}: must be positive")
         if self.cache_enabled and not self.e10_cache_path.strip():
             raise HintError(
-                "hint e10_cache_path: must be a non-empty path when e10_cache "
-                "is enabled"
+                f"hint e10_cache_path={self.e10_cache_path!r}: must be a "
+                "non-empty path when e10_cache is enabled"
             )
         return self
 

@@ -73,16 +73,31 @@ class Tracer:
         Pass an attached :class:`~repro.sim.profile.SimProfiler` to merge
         its counters and component timers into the same view (a
         ``profiler`` track plus an ``otherData.profiler`` summary block).
+
+        Records carrying a ``job`` detail (fleet runs: every record emitted
+        through a :class:`~repro.fleet.view.JobView` tracer) get one Chrome
+        process lane (``pid``) per job, named after the job label, instead
+        of interleaving every job into row 0; untagged records keep pid 0.
         """
         events = []
+        # pid 0 is the untagged (single-job / infrastructure) lane; each
+        # distinct job label gets the next pid in first-appearance order.
+        pids: dict[Any, int] = {}
         for rec in self.records:
+            job = rec.detail.get("job")
+            if job is None:
+                pid = 0
+            else:
+                pid = pids.get(job)
+                if pid is None:
+                    pid = pids[job] = len(pids) + 1
             event: dict[str, Any] = {
                 "name": rec.event,
                 "cat": rec.component,
                 "ph": "i",
                 "s": "g",
                 "ts": rec.time * 1e6,
-                "pid": 0,
+                "pid": pid,
                 "tid": rec.component,
                 "args": rec.detail,
             }
@@ -90,6 +105,15 @@ class Tracer:
             if cname is not None:
                 event["cname"] = cname
             events.append(event)
+        for job, pid in pids.items():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"job {job}"},
+                }
+            )
         other: dict[str, Any] = {"dropped_records": self.dropped}
         if profiler is not None:
             events.extend(profiler.to_chrome_trace_events())

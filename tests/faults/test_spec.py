@@ -78,3 +78,45 @@ class TestFaultSchedule:
         assert sched.faults[0].kind == "ssd_io_error"
         assert sched.faults[0].rate == 0.5
         assert sched.sync_rpc_timeout == 0.1
+
+
+class TestValidate:
+    def test_node_target_out_of_bounds_names_kind_and_value(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=9))
+        with pytest.raises(
+            ValueError, match=r"faults\[0\] \(ssd_io_error\): targets node 9"
+        ):
+            sched.validate(num_nodes=4)
+
+    def test_server_target_checked_against_server_count(self):
+        sched = FaultSchedule.of(FaultSpec("server_stall", target=5))
+        with pytest.raises(ValueError, match="targets server 5.*2 data servers"):
+            sched.validate(num_servers=2)
+
+    def test_crash_rank_checked_against_job_size(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", target=8, on_event="write_done:8")
+        )
+        with pytest.raises(ValueError, match="names rank 8.*has 4 ranks"):
+            sched.validate(num_ranks=4)
+
+    def test_duplicate_device_loss_rejected(self):
+        sched = FaultSchedule.of(
+            FaultSpec("ssd_device_loss", target=1),
+            FaultSpec("ssd_device_loss", target=1),
+        )
+        with pytest.raises(ValueError, match="duplicate device loss on node 1"):
+            sched.validate(num_nodes=4)
+
+    def test_job_label_prefixes_fleet_errors(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=9))
+        with pytest.raises(ValueError, match=r"job j3: faults\[0\]"):
+            sched.validate(num_nodes=4, job="j3")
+
+    def test_unchecked_dimensions_pass(self):
+        sched = FaultSchedule.of(FaultSpec("ssd_io_error", target=9))
+        assert sched.validate() is sched
+
+    def test_valid_schedule_chains(self):
+        sched = FaultSchedule.of(FaultSpec("server_stall", target=0))
+        assert sched.validate(num_nodes=4, num_servers=2, num_ranks=8) is sched

@@ -1,0 +1,90 @@
+"""FleetScheduler: FIFO vs backfill admission, deterministic allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.fleet import FleetScheduler
+
+
+@dataclass
+class Job:
+    job_id: int
+    nodes: int
+
+
+class Recorder:
+    """Capture launch calls as (job_id, placement) pairs."""
+
+    def __init__(self):
+        self.launched: list[tuple[int, tuple[int, ...]]] = []
+
+    def __call__(self, job, placement):
+        self.launched.append((job.job_id, placement))
+
+
+class TestAllocation:
+    def test_lowest_free_nodes_first(self):
+        rec = Recorder()
+        sched = FleetScheduler(4, rec)
+        sched.submit(Job(0, 2))
+        sched.submit(Job(1, 2))
+        assert rec.launched == [(0, (0, 1)), (1, (2, 3))]
+
+    def test_release_resorts_the_pool(self):
+        rec = Recorder()
+        sched = FleetScheduler(4, rec)
+        sched.submit(Job(0, 2))  # takes (0, 1)
+        sched.submit(Job(1, 2))  # takes (2, 3)
+        sched.release((2, 3))
+        sched.release((0, 1))
+        sched.submit(Job(2, 4))  # must see the re-sorted full pool
+        assert rec.launched[-1] == (2, (0, 1, 2, 3))
+
+    def test_oversized_request_rejected(self):
+        sched = FleetScheduler(4, Recorder())
+        with pytest.raises(ValueError, match="requests 8 nodes"):
+            sched.submit(Job(0, 8))
+
+
+class TestAdmission:
+    def test_fifo_head_blocks_the_queue(self):
+        rec = Recorder()
+        sched = FleetScheduler(4, rec, backfill=False)
+        sched.submit(Job(0, 3))  # running on (0, 1, 2)
+        sched.submit(Job(1, 2))  # blocked head: only node 3 free
+        sched.submit(Job(2, 1))  # would fit, but FIFO may not pass the head
+        assert [j for j, _ in rec.launched] == [0]
+        sched.release((0, 1, 2))
+        assert [j for j, _ in rec.launched] == [0, 1, 2]
+        assert sched.backfilled == 0
+
+    def test_backfill_slides_past_a_blocked_head(self):
+        rec = Recorder()
+        sched = FleetScheduler(4, rec, backfill=True)
+        sched.submit(Job(0, 3))
+        sched.submit(Job(1, 2))  # blocked head
+        sched.submit(Job(2, 1))  # backfills onto node 3
+        assert [j for j, _ in rec.launched] == [0, 2]
+        assert rec.launched[1] == (2, (3,))
+        assert sched.backfilled == 1
+
+    def test_release_restarts_queued_jobs_in_order(self):
+        rec = Recorder()
+        sched = FleetScheduler(2, rec)
+        sched.submit(Job(0, 2))
+        sched.submit(Job(1, 1))
+        sched.submit(Job(2, 1))
+        assert len(rec.launched) == 1
+        sched.release((0, 1))
+        assert [j for j, _ in rec.launched] == [0, 1, 2]
+
+    def test_idle_only_when_queue_and_cluster_drain(self):
+        sched = FleetScheduler(2, Recorder())
+        assert sched.idle
+        sched.submit(Job(0, 2))
+        assert not sched.idle
+        sched.release((0, 1))
+        assert sched.idle

@@ -1,0 +1,100 @@
+"""JobView: per-job isolation surface over one shared machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import small_testbed
+from repro.fleet import JobView
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_testbed())  # 4 nodes x 2 ranks
+
+
+class TestPlacement:
+    def test_empty_placement_rejected(self, machine):
+        with pytest.raises(ValueError, match="empty node placement"):
+            JobView(machine, 0, ())
+
+    def test_out_of_range_node_rejected(self, machine):
+        with pytest.raises(ValueError, match="outside the 4-node cluster"):
+            JobView(machine, 3, (1, 7))
+
+    def test_node_of_rank_maps_through_placement(self, machine):
+        view = JobView(machine, 0, (2, 3))
+        # procs_per_node=2: job ranks 0,1 -> node 2; ranks 2,3 -> node 3.
+        assert [view.node_of_rank(r) for r in range(4)] == [2, 2, 3, 3]
+
+    def test_config_resized_to_the_placement(self, machine):
+        view = JobView(machine, 0, (1, 2))
+        assert view.config.num_nodes == 2
+        assert view.config.num_ranks == 4
+        assert machine.config.num_nodes == 4  # shared config untouched
+
+
+class TestSharedVsPrivate:
+    def test_substrate_is_shared(self, machine):
+        a = JobView(machine, 0, (0,))
+        b = JobView(machine, 1, (1,))
+        assert a.sim is b.sim is machine.sim
+        assert a.fabric is machine.fabric
+        assert a.pfs is machine.pfs
+        assert a.nodes is machine.nodes
+
+    def test_ledgers_and_journals_are_private(self, machine):
+        a = JobView(machine, 0, (0,))
+        b = JobView(machine, 1, (1,))
+        a.io_stats["bytes_app"] += 100
+        assert b.io_stats["bytes_app"] == 0
+        assert a.recovery is not b.recovery
+        assert a.daemons is not b.daemons
+
+    def test_pfs_clients_cached_and_tagged(self, machine):
+        view = JobView(machine, 5, (1, 3))
+        client = view.pfs_client(2)  # job rank 2 -> second placement node
+        assert view.pfs_client(2) is client
+        assert client.tag == "j5"
+        assert client.name == "j5.client.r2"
+        assert client.node_id == 3
+
+
+class TestJobTracer:
+    def test_records_are_stamped_with_the_job_label(self):
+        machine = Machine(small_testbed(), trace=True)
+        view = JobView(machine, 7, (0,))
+        view.tracer.emit(0.5, "cache", "chunk", nbytes=4096)
+        (rec,) = machine.tracer.records
+        assert rec.detail["job"] == "j7"
+        assert rec.detail["nbytes"] == 4096
+
+    def test_explicit_job_detail_wins_over_the_stamp(self):
+        machine = Machine(small_testbed(), trace=True)
+        view = JobView(machine, 7, (0,))
+        view.tracer.emit(0.5, "cache", "chunk", job="other")
+        (rec,) = machine.tracer.records
+        assert rec.detail["job"] == "other"
+
+    def test_chrome_trace_gets_one_pid_lane_per_job(self):
+        machine = Machine(small_testbed(), trace=True)
+        a = JobView(machine, 0, (0,))
+        b = JobView(machine, 1, (1,))
+        machine.tracer.emit(0.0, "infra", "boot")  # untagged -> pid 0
+        a.tracer.emit(0.1, "cache", "x")
+        b.tracer.emit(0.2, "cache", "y")
+        a.tracer.emit(0.3, "cache", "z")
+        doc = machine.tracer.to_chrome_trace()
+        by_name = {}
+        for ev in doc["traceEvents"]:
+            if ev.get("ph") == "i":
+                by_name[ev["name"]] = ev["pid"]
+        assert by_name["boot"] == 0
+        assert by_name["x"] == by_name["z"] != by_name["y"]
+        lanes = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev.get("name") == "process_name"
+        }
+        assert lanes == {"job j0", "job j1"}

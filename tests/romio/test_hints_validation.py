@@ -54,3 +54,25 @@ class TestValidateMethod:
     def test_hint_error_is_a_value_error(self):
         with pytest.raises(ValueError):
             Hints(cb_buffer_size=-1).validate()
+
+
+class TestMessagesNameFieldAndValue:
+    """Every rejection names the offending hint key and its value."""
+
+    def test_size_message_carries_the_raw_value(self):
+        with pytest.raises(HintError, match=r"cb_buffer_size='-16m': negative"):
+            Hints.from_info({"cb_buffer_size": "-16m"})
+
+    def test_non_integer_message_carries_the_raw_value(self):
+        with pytest.raises(HintError, match=r"cb_nodes='many': not an integer"):
+            Hints.from_info({"cb_nodes": "many"})
+
+    def test_enum_message_lists_the_allowed_values(self):
+        with pytest.raises(
+            HintError, match=r"romio_cb_write='sometimes': expected one of"
+        ):
+            Hints.from_info({"romio_cb_write": "sometimes"})
+
+    def test_constructed_hints_report_field_and_value(self):
+        with pytest.raises(HintError, match=r"cb_buffer_size=0: must be positive"):
+            Hints(cb_buffer_size=0).validate()
