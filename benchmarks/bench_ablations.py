@@ -142,6 +142,58 @@ class TestFlushPolicy:
         assert immediate.bw > onclose.bw
 
 
+class TestDeviceTier:
+    """FTL vs stream SSD, NVMM vs extent cache (docs/DEVICES.md)."""
+
+    def test_ftl_aging_slows_the_flush(self, benchmark):
+        """On a scratch partition small enough that the sync load cycles it,
+        GC stalls and relocation traffic lengthen the flush; the stream
+        model charges nothing for overwrite, so its timing is unchanged."""
+        from repro.config import SSDConfig
+
+        spec = ExperimentSpec("ior", aggregators=8, cache_mode="enabled", **BASE)
+        small_scratch = SSDConfig(capacity=1 * GiB)
+
+        def run(kind):
+            cfg = deep_er_testbed(
+                flush_batch_chunks=16, ssd_kind=kind, ssd=small_scratch
+            )
+            return run_experiment(spec, config=cfg)
+
+        stream = run_once(benchmark, lambda: run("stream"))
+        ftl = run("ftl")
+        print(f"\nclose wait: stream {stream.close_wait:.2f}s vs ftl "
+              f"{ftl.close_wait:.2f}s (1 GiB scratch, cycled by the sync load)")
+        assert ftl.close_wait > stream.close_wait
+
+    def test_nvmm_cache_absorbs_writes_faster(self, benchmark):
+        """The WAL on byte-addressable NVMM takes cache writes at memory
+        bandwidth (one barrier per record) instead of SSD + filesystem
+        speed, so perceived write bandwidth rises."""
+        import repro.experiments.runner as runner_mod
+
+        def run(kind):
+            spec = ExperimentSpec("ior", aggregators=8, cache_mode="enabled", **BASE)
+            original = runner_mod.hints_for
+
+            def patched(s):
+                h = original(s)
+                h["e10_cache_kind"] = kind
+                return h
+
+            runner_mod.hints_for = patched
+            try:
+                return runner_mod.run_experiment(spec)
+            finally:
+                runner_mod.hints_for = original
+
+        extent = run_once(benchmark, lambda: run("extent"))
+        nvmm = run("nvmm")
+        print(f"\nperceived BW: extent {extent.bw / GiB:.2f} vs "
+              f"nvmm {nvmm.bw / GiB:.2f} GiB/s")
+        assert nvmm.bw > extent.bw
+
+
 class TestStripeAlignment:
     """Even (UFS) vs stripe-aligned (BeeGFS) file domains: alignment avoids
     extent-lock false sharing on POSIX-locking file systems (footnote 1)."""

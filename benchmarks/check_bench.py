@@ -101,6 +101,40 @@ def check_throughput_floors(
             )
 
 
+def check_device_tier(baseline: dict, reports: dict, failures: list[str]) -> None:
+    """Gate the bench_devices report: exact FTL counters + tier event counts
+    against the ``device_tier`` baseline section."""
+    section = baseline.get("device_tier")
+    report = reports.get("devices")
+    if section is None or report is None:
+        return
+    aging = report.get("flash_aging", {})
+    for counter, expected in section["flash_aging"].items():
+        got = aging.get(counter)
+        if got != expected:
+            failures.append(
+                f"flash_aging.{counter}: {got} != baseline {expected}"
+            )
+    wa_min = section.get("write_amplification_min")
+    if wa_min is not None and aging.get("write_amplification", 0.0) < wa_min:
+        failures.append(
+            f"flash_aging: WA {aging.get('write_amplification')} < floor {wa_min}"
+        )
+    tiers = report.get("tier_dataplane_ab", {})
+    for key, expected in section["events_fired"].items():
+        tier, _, plane = key.rpartition("_")
+        got = tiers.get(tier, {}).get(f"events_{plane}")
+        if got != expected:
+            failures.append(
+                f"device_tier.{key}: events_fired {got} != baseline {expected}"
+            )
+    for tier, stats in tiers.items():
+        if not stats.get("byte_identical_excluding_events", False):
+            failures.append(f"device_tier.{tier}: dataplane A/B diverged")
+    if not report.get("stream_identity", {}).get("ok", False):
+        failures.append("device_tier: REPRO_SSD=stream identity broken")
+
+
 def check_ok_flags(reports: dict, failures: list[str]) -> None:
     for which, report in reports.items():
         if not report.get("ok", False):
@@ -126,13 +160,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="check only the fleet report (skip engine/dataplane reports)",
     )
+    parser.add_argument(
+        "--devices",
+        default=None,
+        help="also gate a bench_devices report (e.g. BENCH_devices.json)",
+    )
+    parser.add_argument(
+        "--devices-only",
+        action="store_true",
+        help="check only the devices report (skip engine/dataplane reports)",
+    )
     parser.add_argument("--baseline", default="benchmarks/baseline_quick.json")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     reports = {}
-    if not args.fleet_only:
+    if not (args.fleet_only or args.devices_only):
         with open(args.engine) as fh:
             reports["engine"] = json.load(fh)
         with open(args.dataplane) as fh:
@@ -140,6 +184,9 @@ def main(argv=None) -> int:
     if args.fleet or args.fleet_only:
         with open(args.fleet or "BENCH_fleet.json") as fh:
             reports["fleet"] = json.load(fh)
+    if args.devices or args.devices_only:
+        with open(args.devices or "BENCH_devices.json") as fh:
+            reports["devices"] = json.load(fh)
 
     for which, report in reports.items():
         if report.get("mode") != baseline["mode"]:
@@ -154,6 +201,7 @@ def main(argv=None) -> int:
     check_ok_flags(reports, failures)
     check_events_exact(baseline, reports, failures)
     check_throughput_floors(baseline, reports, failures)
+    check_device_tier(baseline, reports, failures)
 
     if failures:
         for failure in failures:

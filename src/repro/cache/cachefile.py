@@ -20,8 +20,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.cache.nvmlog import NVMMWriteLog
 from repro.cache.policy import CachePolicy
 from repro.cache.syncthread import SyncRequest, SyncThread
+from repro.faults.errors import TornWriteError
 from repro.faults.recovery import CacheJournal
 from repro.intervals import IntervalSet
 from repro.localfs.ext4 import LocalFileSystem
@@ -43,10 +45,17 @@ class CacheState:
         self.comm = comm
         self.localfs: LocalFileSystem = machine.local_fs_of_rank(rank)
         cache_name = f"{policy.cache_path}/r{rank}{global_file.path.replace('/', '_')}.cache"
-        try:
-            self.local_file = self.localfs.open(cache_name, create=True)
-        except OSError as exc:  # pragma: no cover - namespace errors are rare
-            raise CacheOpenError(str(exc)) from exc
+        # Backend: an extent file on the scratch SSD (the paper's design) or
+        # a write-ahead log on the node's NVMM region (cache_kind=nvmm).
+        self.local_file = None
+        self.wal: Optional[NVMMWriteLog] = None
+        if policy.cache_kind == "nvmm":
+            self.wal = NVMMWriteLog(machine, machine.node_of_rank(rank), name=cache_name)
+        else:
+            try:
+                self.local_file = self.localfs.open(cache_name, create=True)
+            except OSError as exc:  # pragma: no cover - namespace errors are rare
+                raise CacheOpenError(str(exc)) from exc
         self.sync_thread = SyncThread(machine, rank, self, global_file, policy)
         self.pending: list[SyncRequest] = []  # not yet submitted (flush_onclose)
         self.outstanding: list[GeneralizedRequest] = []
@@ -73,6 +82,7 @@ class CacheState:
                 file_id=global_file.file_id,
                 sync_chunk=policy.sync_chunk,
                 discard_on_close=policy.discard_on_close,
+                wal=self.wal,
                 cached=self.cached,
                 synced=IntervalSet(),
                 stripe_refs=self._stripe_refs,
@@ -84,6 +94,9 @@ class CacheState:
     # -- space management (ADIOI_Cache_alloc) ----------------------------------
     def allocate(self, offset: int, nbytes: int):
         """Generator: reserve cache space via fallocate; ENOSPC propagates."""
+        if self.wal is not None:
+            yield from self.wal.reserve(offset, nbytes)
+            return
         yield from self.localfs.fallocate(self.local_file, offset, nbytes)
 
     # -- the write path (called from ADIOI_GEN_WriteContig) ---------------------
@@ -103,7 +116,7 @@ class CacheState:
                 held.append(s)
             stripes = tuple(held)
         try:
-            yield from self.localfs.write(self.local_file, offset, nbytes, data)
+            yield from self._backend_write(offset, nbytes, data)
         except OSError:
             # ENOSPC or a lost device: undo coherent locks before
             # propagating — the caller falls back to a direct global write.
@@ -136,6 +149,47 @@ class CacheState:
         else:
             self.pending.append(request)
         return greq
+
+    def _backend_write(self, offset: int, nbytes: int, data: Optional[np.ndarray]):
+        """Generator: store one extent in the active backend.
+
+        Extent mode delegates to the local FS; NVMM mode appends to the
+        write-ahead log, retrying torn appends (a torn record was never
+        acknowledged, so re-appending is safe) with the sync thread's
+        backoff schedule before letting the error degrade the cache.
+        """
+        if self.wal is None:
+            yield from self.localfs.write(self.local_file, offset, nbytes, data)
+            return
+        attempts = 0
+        while True:
+            try:
+                yield from self.wal.append(offset, nbytes, data)
+                return
+            except TornWriteError:
+                attempts += 1
+                stats = getattr(self.machine, "cache_stats", None)
+                if stats is not None:
+                    stats["wal_torn"] = stats.get("wal_torn", 0) + 1
+                if attempts > self.policy.sync_retry_limit:
+                    raise
+                backoff = self.policy.sync_backoff_base * (
+                    self.policy.sync_backoff_factor ** (attempts - 1)
+                )
+                yield self.machine.sim.timeout(backoff)
+
+    # -- read-back (sync thread / recovery replay) --------------------------------
+    def read_back(self, pos: int, blen: int):
+        """Generator returning cached bytes — WAL or extent file."""
+        if self.wal is not None:
+            return (yield from self.wal.read(pos, blen))
+        return (yield from self.localfs.read(self.local_file, pos, blen))
+
+    def read_back_event(self, pos: int, blen: int):
+        """Flat variant of :meth:`read_back` (``sim.flat`` chains)."""
+        if self.wal is not None:
+            return self.wal.read_event(pos, blen)
+        return self.localfs.read_event(self.local_file, pos, blen)
 
     def mark_synced(self, offset: int, nbytes: int) -> None:
         """Record that ``[offset, offset+nbytes)`` reached the global file —
@@ -183,10 +237,14 @@ class CacheState:
         """Generator: flush, stop the thread, discard the cache file if asked."""
         yield from self.flush()
         self.sync_thread.shutdown()
-        self.localfs.close(self.local_file)
-        if self.policy.discard_on_close and self.localfs.writable:
-            if self.localfs.exists(self.local_file.path):
-                self.localfs.unlink(self.local_file.path)
+        if self.wal is not None:
+            if self.policy.discard_on_close:
+                self.wal.discard()
+        else:
+            self.localfs.close(self.local_file)
+            if self.policy.discard_on_close and self.localfs.writable:
+                if self.localfs.exists(self.local_file.path):
+                    self.localfs.unlink(self.local_file.path)
         if self.journal is not None:
             registry = getattr(self.machine, "recovery", None)
             if registry is not None:

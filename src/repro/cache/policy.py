@@ -18,6 +18,9 @@ class CachePolicy:
     discard_on_close: bool
     cache_path: str
     sync_chunk: int  # ind_wr_buffer_size
+    # Cache backend: "extent" (sparse file on the scratch SSD) or "nvmm"
+    # (write-ahead log on persistent memory, repro.cache.nvmlog).
+    cache_kind: str = "extent"
 
     # Sync-thread fault handling: transient failures are retried in place
     # with exponential backoff, then the remainder of the request is
@@ -45,4 +48,5 @@ class CachePolicy:
             discard_on_close=hints.discard_on_close,
             cache_path=hints.e10_cache_path,
             sync_chunk=hints.ind_wr_buffer_size,
+            cache_kind=hints.e10_cache_kind,
         )

@@ -152,9 +152,7 @@ class SyncThread:
                     while pos < end:
                         blen = min(chunk * batch_chunks, end - pos)
                         nchunks = math.ceil(blen / chunk)
-                        data = yield self.localfs.read_event(
-                            self.cache_state.local_file, pos, blen
-                        )
+                        data = yield self.cache_state.read_back_event(pos, blen)
                         yield self.client.write_sync_flat(
                             self.global_file, pos, blen, data=data, rpc_count=nchunks
                         )
@@ -185,9 +183,7 @@ class SyncThread:
                 blen = min(chunk * batch_chunks, end - pos)
                 nchunks = math.ceil(blen / chunk)
                 try:
-                    data = yield from self.localfs.read(
-                        self.cache_state.local_file, pos, blen
-                    )
+                    data = yield from self.cache_state.read_back(pos, blen)
                     yield from self.client.write_sync(
                         self.global_file, pos, blen, data=data, rpc_count=nchunks
                     )
@@ -231,9 +227,7 @@ class SyncThread:
             while pos < end:
                 blen = min(chunk * batch_chunks, end - pos)
                 nchunks = math.ceil(blen / chunk)
-                data = yield from self.localfs.read(
-                    self.cache_state.local_file, pos, blen
-                )
+                data = yield from self.cache_state.read_back(pos, blen)
                 yield from self.client.write_sync(
                     self.global_file, pos, blen, data=data, rpc_count=nchunks
                 )

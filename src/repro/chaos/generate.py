@@ -63,6 +63,13 @@ class ChaosConfig:
     cascade_probability: float = 0.5  # second crash during recovery replay
     timeout_probability: float = 0.6  # arm the sync RPC watchdog alongside stalls
     sync_rpc_timeout: float = 0.01
+    # Device-tier faults (drawn *after* the legacy sequence, and only for
+    # configs that opt in — so existing (cfg, seed) schedules are unchanged).
+    cache_kind: str = "extent"  # "nvmm" enables torn-WAL-append draws
+    device_faults: bool = False  # enables ssd_gc_pressure draws
+    torn_write_probability: float = 0.75
+    gc_pressure_probability: float = 0.6
+    max_gc_factor: float = 4.0
 
 
 def generate_schedule(cfg: ChaosConfig, seed: int) -> FaultSchedule:
@@ -109,6 +116,29 @@ def generate_schedule(cfg: ChaosConfig, seed: int) -> FaultSchedule:
             target = rng.choice(sorted(set(range(cfg.num_nodes)) - lost_nodes))
             lost_nodes.add(target)
             faults.append(FaultSpec(kind, target=target, start=start))
+    # Device-tier kinds come after the legacy draws and behind opt-in flags,
+    # which keeps the rng draw sequence — and therefore every existing
+    # (cfg, seed) → schedule mapping — byte-identical for extent configs.
+    if cfg.cache_kind == "nvmm" and rng.random() < cfg.torn_write_probability:
+        faults.append(
+            FaultSpec(
+                "nvmm_torn_write",
+                target=rng.randrange(cfg.num_nodes),
+                start=rng.uniform(cfg.start_min, cfg.horizon),
+                duration=rng.uniform(cfg.min_window, cfg.max_window),
+                rate=rng.uniform(cfg.min_error_rate, cfg.max_error_rate),
+            )
+        )
+    if cfg.device_faults and rng.random() < cfg.gc_pressure_probability:
+        faults.append(
+            FaultSpec(
+                "ssd_gc_pressure",
+                target=rng.randrange(cfg.num_nodes),
+                start=rng.uniform(cfg.start_min, cfg.horizon),
+                duration=rng.uniform(cfg.min_window, cfg.max_window),
+                factor=rng.uniform(1.5, cfg.max_gc_factor),
+            )
+        )
     if rng.random() < cfg.crash_probability:
         last = max(0, cfg.num_files - 1)
         faults.append(

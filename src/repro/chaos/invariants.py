@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.intervals import IntervalSet
 from repro.sim.core import DeadlockError, describe_blocked
 
 _WATCHDOG = "invariant-watchdog"
@@ -193,6 +194,32 @@ class InvariantMonitor:
                 f"{unflushed} bytes still journaled — lost data vanished from "
                 f"the recovery metadata"
             )
+        # WAL coherence (cache_kind=nvmm journals): no record is both torn
+        # and durable, and every unflushed byte the journal claims must be
+        # reconstructible from durable records — a torn append that somehow
+        # entered `cached` without a durable retry would be unrecoverable
+        # data the ledger still counts as safe.
+        for journal in journals:
+            wal = getattr(journal, "wal", None)
+            if wal is None:
+                continue
+            durable = IntervalSet()
+            for rec in wal.records:
+                if rec.torn and rec.durable:
+                    self._violate(
+                        f"WAL coherence: record seq={rec.seq} on node "
+                        f"{journal.node_id} is both torn and durable"
+                    )
+                if rec.durable:
+                    durable.add(rec.offset, rec.offset + rec.nbytes)
+            for start, end in journal.unflushed():
+                missing = durable.gaps(start, end).total
+                if missing:
+                    self._violate(
+                        f"WAL coherence: journal r{journal.rank} holds "
+                        f"[{start}, {end}) as unflushed but {missing} byte(s) "
+                        f"have no durable WAL record"
+                    )
         # Journal -> lock direction: a live stripe ref must be write-held.
         locks = self.machine.pfs.locks
         referenced: set[tuple[int, int]] = set()

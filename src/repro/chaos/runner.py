@@ -42,6 +42,7 @@ from repro.experiments.faultsweep import (
 )
 from repro.faults import FaultSchedule, FaultSpec, JobAborted
 from repro.faults.errors import FaultError, SyncFailedError
+from repro.romio.hints import CACHE_KINDS
 from repro.machine import Machine
 from repro.mpi.process import MPIWorld
 from repro.romio.file import MPIIOLayer
@@ -64,6 +65,7 @@ class ChaosTrialSpec:
     seed: int
     benchmark: str = "ior"
     cache_mode: str = "enabled"
+    cache_kind: str = "extent"  # cache backend: extent file or NVMM WAL
     flush_flag: str = "flush_onclose"
     num_nodes: int = 4
     procs_per_node: int = 2
@@ -84,6 +86,8 @@ class ChaosTrialSpec:
             raise ValueError(f"unknown benchmark {self.benchmark!r}")
         if self.cache_mode not in FAULT_CACHE_MODES:
             raise ValueError(f"unknown cache mode {self.cache_mode!r}")
+        if self.cache_kind not in CACHE_KINDS:
+            raise ValueError(f"unknown cache kind {self.cache_kind!r}")
         if not isinstance(self.faults, tuple):
             object.__setattr__(self, "faults", tuple(self.faults))
 
@@ -188,6 +192,10 @@ def schedule_for(spec: ChaosTrialSpec, cfg: ClusterConfig) -> FaultSchedule:
         num_ranks=cfg.num_ranks,
         num_files=spec.num_files,
         max_faults=spec.max_faults,
+        # NVMM-backed trials opt into the device-tier draws (torn WAL
+        # appends + GC pressure); extent trials keep the legacy sequence.
+        cache_kind=spec.cache_kind,
+        device_faults=spec.cache_kind == "nvmm",
     )
     return generate_schedule(chaos_cfg, spec.seed)
 
@@ -200,6 +208,7 @@ def _fault_spec_view(spec: ChaosTrialSpec, schedule: FaultSchedule) -> FaultExpe
         faults=schedule.faults,
         sync_rpc_timeout=schedule.sync_rpc_timeout,
         cache_mode=spec.cache_mode,
+        cache_kind=spec.cache_kind,
         flush_flag=spec.flush_flag,
         num_nodes=spec.num_nodes,
         procs_per_node=spec.procs_per_node,
@@ -467,11 +476,19 @@ def chaos_trial_specs(
     """One trial per seed, cycling cache modes and flush flags."""
     specs = []
     for seed in seeds:
+        cache_mode = CHAOS_CACHE_MODES[seed % len(CHAOS_CACHE_MODES)]
         specs.append(
             ChaosTrialSpec(
                 seed=seed,
                 benchmark=benchmark,
-                cache_mode=CHAOS_CACHE_MODES[seed % len(CHAOS_CACHE_MODES)],
+                cache_mode=cache_mode,
+                # Every fourth caching trial runs on the NVMM WAL backend so
+                # the smoke matrix exercises torn-append recovery too.
+                cache_kind=(
+                    "nvmm"
+                    if seed % 4 == 3 and cache_mode != "disabled"
+                    else "extent"
+                ),
                 flush_flag="flush_immediate" if (seed // 3) % 2 else "flush_onclose",
                 scale=scale,
                 max_faults=max_faults,
@@ -482,14 +499,15 @@ def chaos_trial_specs(
 
 def render_chaos_table(results: list[ChaosTrialResult]) -> str:
     header = (
-        f"{'seed':>6} {'cache':<9} {'flush':<15} {'faults':>6} "
+        f"{'seed':>6} {'cache':<9} {'kind':<7} {'flush':<15} {'faults':>6} "
         f"{'outcome':<15} {'ok':<3} {'planes':<6} {'viol':>4} "
         f"{'replayed':>9} {'retry':>5}"
     )
     lines = [header, "-" * len(header)]
     for r in results:
         lines.append(
-            f"{r.spec.seed:>6} {r.spec.cache_mode:<9} {r.spec.flush_flag:<15} "
+            f"{r.spec.seed:>6} {r.spec.cache_mode:<9} "
+            f"{r.spec.cache_kind:<7} {r.spec.flush_flag:<15} "
             f"{len(r.schedule.get('faults', ())):>6} {r.outcome:<15} "
             f"{'y' if r.ok else 'N':<3} {'y' if r.planes_match else 'N':<6} "
             f"{len(r.violations):>4} {r.bytes_replayed:>9} {r.retries:>5}"

@@ -33,6 +33,7 @@ from repro.faults import FaultSchedule, FaultSpec, JobAborted
 from repro.machine import Machine
 from repro.mpi.process import MPIWorld
 from repro.romio.file import MPIIOLayer
+from repro.romio.hints import CACHE_KINDS
 from repro.sim.core import DeadlockError, Interrupt
 from repro.units import KiB
 from repro.workloads import collperf_workload, flashio_workload, ior_workload
@@ -48,6 +49,8 @@ SCENARIOS = (
     "server_stall",
     "link_degraded",
     "ssd_loss",
+    "gc_pressure",
+    "nvmm_torn",
     "agg_crash",
 )
 
@@ -61,6 +64,7 @@ class FaultExperimentSpec:
     faults: tuple = ()
     sync_rpc_timeout: float = 0.0
     cache_mode: str = "enabled"
+    cache_kind: str = "extent"  # cache backend: extent file or NVMM WAL
     flush_flag: str = "flush_onclose"
     aggregators: int = 4
     cb_buffer: int = 256 * KiB
@@ -77,6 +81,8 @@ class FaultExperimentSpec:
             raise ValueError(f"unknown benchmark {self.benchmark!r}")
         if self.cache_mode not in FAULT_CACHE_MODES:
             raise ValueError(f"unknown cache mode {self.cache_mode!r}")
+        if self.cache_kind not in CACHE_KINDS:
+            raise ValueError(f"unknown cache kind {self.cache_kind!r}")
         if not isinstance(self.faults, tuple):
             object.__setattr__(self, "faults", tuple(self.faults))
 
@@ -166,6 +172,7 @@ def fault_hints_for(spec: FaultExperimentSpec) -> dict[str, str]:
             e10_cache="enable" if spec.cache_mode == "enabled" else "coherent",
             e10_cache_flush_flag=spec.flush_flag,
             e10_cache_discard_flag="enable",
+            e10_cache_kind=spec.cache_kind,
         )
     return hints
 
@@ -341,6 +348,21 @@ def scenario_faults(
         # Node 0's scratch device drops to read-only almost immediately:
         # cached extents drain, new writes fall back to the direct path.
         return (FaultSpec("ssd_device_loss", target=0, start=0.002),), 0.0
+    if scenario == "gc_pressure":
+        # Foreground GC competes with host writes on node 0's flash across
+        # the whole run: a pure 3x write slowdown, never an error — the
+        # cache keeps working, just slower (bw_ratio is the interesting
+        # number here).
+        return (
+            FaultSpec("ssd_gc_pressure", target=0, start=0.0, duration=0.2, factor=3.0),
+        ), 0.0
+    if scenario == "nvmm_torn":
+        # Torn WAL appends on node 0 while the job writes (cache_kind=nvmm;
+        # fault_matrix_specs pins the backend).  The cache retries each torn
+        # record; recovery CRC-skips the garbage.
+        return (
+            FaultSpec("nvmm_torn_write", target=0, start=0.0, duration=0.2, rate=0.3),
+        ), 0.0
     if scenario == "agg_crash":
         # Kill the job shortly after the last write completes — mid
         # flush/close, when cached extents are guaranteed to be in flight.
@@ -365,6 +387,9 @@ def fault_matrix_specs(
                 benchmark=bench,
                 scenario=scenario,
                 cache_mode=cache_mode,
+                # The torn-append scenario only means anything on the WAL
+                # backend; every other scenario keeps the extent default.
+                cache_kind="nvmm" if scenario == "nvmm_torn" else "extent",
                 scale=scale,
                 seed=seed,
             )

@@ -39,7 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 # read again.
 # v2: fault results gained invariant_violations and drain-to-quiescence
 # (shifts the diagnostic event count); chaos trial results joined the cache.
-CACHE_SCHEMA_VERSION = 2
+# v3: the key gained the *resolved* device tier — REPRO_SSD / REPRO_CACHE_KIND
+# select different device models without touching spec or config, so the
+# environment defaults must be baked into the address or an ftl-mode run
+# would alias a stream-mode entry.
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -63,11 +67,19 @@ def cache_key(spec: "ExperimentSpec", config: "ClusterConfig") -> str:
     memo bug where the config was ignored and two different clusters could
     alias to one result.
     """
+    from repro.hw.flash import default_ssd_kind
+    from repro.romio.hints import default_cache_kind
+
     payload = _canonical_json(
         {
             "schema": CACHE_SCHEMA_VERSION,
             "spec": dataclasses.asdict(spec),
             "config": config_fingerprint(config),
+            # Device-tier selections that default through the environment:
+            # an explicit config/hint value already fingerprints via spec or
+            # config, but the env-resolved defaults must be keyed here.
+            "ssd_kind": config.ssd_kind or default_ssd_kind(),
+            "cache_kind": default_cache_kind(),
         }
     )
     return hashlib.sha256(payload.encode()).hexdigest()

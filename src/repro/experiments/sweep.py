@@ -57,6 +57,8 @@ from repro.experiments.report import (
 )
 from repro.experiments.resultcache import ResultCache
 from repro.experiments.runner import BENCHMARKS, default_scale
+from repro.hw import flash
+from repro.romio import hints
 from repro.units import MiB
 
 
@@ -169,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="first chaos seed (with --chaos; default: 0)",
+    )
+    p.add_argument(
+        "--ssd",
+        choices=flash.SSD_KINDS,
+        default=None,
+        help="node-SSD device model (sets REPRO_SSD; default: stream — "
+        "ftl is the FTL-aware flash tier, see docs/DEVICES.md)",
+    )
+    p.add_argument(
+        "--cache-kind",
+        choices=hints.CACHE_KINDS,
+        default=None,
+        help="cache backend (sets REPRO_CACHE_KIND; default: extent — "
+        "nvmm is the byte-addressable write-ahead log)",
     )
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return p
@@ -395,6 +411,12 @@ def run_chaos(args: argparse.Namespace, runner: SweepRunner) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # Device-tier selection travels as environment so pool workers (and the
+    # result-cache fingerprint, which resolves both kinds) see one truth.
+    if args.ssd is not None:
+        os.environ["REPRO_SSD"] = args.ssd
+    if args.cache_kind is not None:
+        os.environ["REPRO_CACHE_KIND"] = args.cache_kind
     if args.jobs > 1 and (os.cpu_count() or 1) == 1:
         # Measured on a single-CPU host: 410.9s serial vs 485.0s --jobs 4 —
         # pool overhead with no parallelism to pay for it.

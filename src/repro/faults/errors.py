@@ -38,6 +38,14 @@ class PFSTimeoutError(FaultError):
     """A synchronous PFS RPC exceeded the client's timeout (server stall)."""
 
 
+class TornWriteError(FaultError):
+    """An NVMM write-ahead-log append failed mid-record (power glitch):
+    the partially-written record is present in the log with a bad CRC and
+    was never acknowledged to the writer.  The cache layer retries the
+    append; recovery replay skips the torn record (see
+    :mod:`repro.cache.nvmlog`)."""
+
+
 class SyncFailedError(OSError):
     """The sync thread exhausted its retry and re-queue budget for an extent."""
 

@@ -25,6 +25,12 @@ calls a narrow hook, so a machine without faults pays one ``is None`` test):
   simulated ``mpirun`` teardown.  Node-local state — page cache, cache
   files, the recovery journals — survives, because the paper's recovery
   argument is precisely that a *process* crash does not lose SSD contents.
+* :meth:`on_device_write` — ``ssd_gc_pressure``: writes on the node's
+  flash are stretched by ``factor`` while the window is open (foreground
+  GC competing for the dies); a pure slowdown, never an error.
+* :meth:`wal_tear_decision` — ``nvmm_torn_write``: a WAL append on the
+  node's NVMM region fails mid-record, leaving a physically-present but
+  bad-CRC record that recovery replay must skip (``cache_kind=nvmm``).
 
 Paper correspondence: none (fault-injection extension); targets the
 §II-B servers, §III cache devices, and §IV fabric.
@@ -34,7 +40,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.errors import JobAborted, TransientIOError
+from repro.faults.errors import JobAborted, TornWriteError, TransientIOError
 from repro.faults.spec import FaultSchedule, FaultSpec
 from repro.sim.core import Process, SimError
 
@@ -65,6 +71,8 @@ class FaultInjector:
         self._rank_procs: list[Process] = []
         self._daemons: list[Process] = []
         self._ssd_read: dict[int, list[_FaultState]] = {}
+        self._gc_pressure: dict[int, list[_FaultState]] = {}
+        self._wal_torn: dict[int, list[_FaultState]] = {}
         self._stalls: dict[int, list[_FaultState]] = {}
         self._by_event: dict[str, list[_FaultState]] = {}
         self._wire()
@@ -83,10 +91,25 @@ class FaultInjector:
             # fast_path flag is cleared too so the scoping is inspectable.
             if spec.kind == "ssd_io_error":
                 self._ssd_read.setdefault(spec.target, []).append(state)
+                node = self.machine.nodes[spec.target]
+                # The "cache device" is whichever medium the node's cache
+                # reads come from: the scratch SSD (extent mode) or the
+                # NVMM log region (cache_kind=nvmm).  Attach to both; the
+                # idle one performs no I/O, so its hooks never fire.
+                for dev in (node.ssd, node.nvmm):
+                    dev.injector = self
+                    dev.fault_node = spec.target
+                    dev.fast_path = False
+            elif spec.kind == "ssd_gc_pressure":
+                self._gc_pressure.setdefault(spec.target, []).append(state)
                 ssd = self.machine.nodes[spec.target].ssd
                 ssd.injector = self
                 ssd.fault_node = spec.target
                 ssd.fast_path = False
+            elif spec.kind == "nvmm_torn_write":
+                # No device flag needed: the write-ahead log consults the
+                # injector directly at append time (see NVMMWriteLog).
+                self._wal_torn.setdefault(spec.target, []).append(state)
             elif spec.kind == "server_stall":
                 self._stalls.setdefault(spec.target, []).append(state)
                 server = self.machine.pfs.servers[spec.target]
@@ -95,7 +118,12 @@ class FaultInjector:
                 server.target.fast_path = False
             if spec.on_event:
                 self._by_event.setdefault(spec.on_event, []).append(state)
-            elif spec.kind in ("ssd_io_error", "server_stall"):
+            elif spec.kind in (
+                "ssd_io_error",
+                "server_stall",
+                "ssd_gc_pressure",
+                "nvmm_torn_write",
+            ):
                 # Window faults need no trigger process: activity inside the
                 # window consults the clock.
                 state.active_at = spec.start
@@ -109,7 +137,12 @@ class FaultInjector:
 
     @staticmethod
     def _validate_target(spec: FaultSpec, cfg) -> None:
-        if spec.kind in ("ssd_io_error", "ssd_device_loss"):
+        if spec.kind in (
+            "ssd_io_error",
+            "ssd_device_loss",
+            "ssd_gc_pressure",
+            "nvmm_torn_write",
+        ):
             if spec.target >= cfg.num_nodes:
                 raise SimError(
                     f"{spec.kind} targets node {spec.target}, "
@@ -171,7 +204,12 @@ class FaultInjector:
         state.active_at = self.sim.now
         if spec.kind == "ssd_device_loss":
             self.injected += 1
-            self.machine.nodes[spec.target].ssd.read_only = True
+            node = self.machine.nodes[spec.target]
+            # Losing the cache device means losing whichever medium backs
+            # the cache: the scratch SSD and the NVMM log region fail
+            # read-only together (same EROFS end-of-life semantics).
+            node.ssd.read_only = True
+            node.nvmm.read_only = True
             self._emit("ssd_device_loss", node=spec.target)
         elif spec.kind == "link_degrade":
             self.injected += 1
@@ -202,6 +240,8 @@ class FaultInjector:
         recovery = getattr(self.machine, "recovery", None)
         if recovery is not None:
             for journal in recovery.entries():
+                if journal.local_file is None:
+                    continue  # NVMM WAL journal: no descriptor to close
                 fs = self.machine.local_fs[journal.node_id]
                 while journal.local_file.open_count > 0:
                     fs.close(journal.local_file)
@@ -227,6 +267,52 @@ class FaultInjector:
                     f"injected read error on {device.name} "
                     f"[{offset}, {offset + nbytes})"
                 )
+
+    def on_device_write(self, device, offset: int, nbytes: int, dt: float) -> float:
+        """Called from :meth:`StorageDevice._io` after a write's service time
+        is computed: returns *extra stall seconds* (never raises).  This is
+        the ``ssd_gc_pressure`` hook — foreground garbage collection on the
+        node's flash competing with host writes for the dies."""
+        node = device.fault_node
+        states = self._gc_pressure.get(node)
+        if not states:
+            return 0.0
+        if device is not self.machine.nodes[node].ssd:
+            return 0.0  # GC pressure is a flash phenomenon; NVMM has no GC
+        extra = 0.0
+        for state in states:
+            if self._window_open(state):
+                extra += dt * (state.spec.factor - 1.0)
+        if extra > 0.0:
+            self.injected += 1
+            device.injected_stall_time += extra
+            self._emit(
+                "ssd_gc_pressure", node=node, offset=offset, nbytes=nbytes, stall=extra
+            )
+        return extra
+
+    def wal_tear_decision(self, node_id: int, offset: int, nbytes: int) -> bool:
+        """Should this WAL append tear (``nvmm_torn_write``)?  The log makes
+        the call *before* charging device time so it can model the partial
+        write + bad-CRC record, then raises
+        :class:`~repro.faults.errors.TornWriteError` itself."""
+        for state in self._wal_torn.get(node_id, ()):
+            if not self._window_open(state):
+                continue
+            spec = state.spec
+            rng = self.rng.stream(f"faults.nvmm.n{node_id}")
+            if spec.rate >= 1.0 or rng.random() < spec.rate:
+                self.injected += 1
+                self._emit(
+                    "nvmm_torn_write", node=node_id, offset=offset, nbytes=nbytes
+                )
+                return True
+        return False
+
+    def torn_write_error(self, node_id: int, offset: int, nbytes: int) -> TornWriteError:
+        return TornWriteError(
+            f"torn WAL append on node {node_id} [{offset}, {offset + nbytes})"
+        )
 
     def server_gate(self, server_id: int):
         """Generator yielded inside a data server's RPC service path: blocks

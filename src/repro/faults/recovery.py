@@ -63,6 +63,9 @@ class CacheJournal:
     cached: IntervalSet = field(default_factory=IntervalSet)  # shared with CacheState
     synced: IntervalSet = field(default_factory=IntervalSet)
     stripe_refs: dict[int, int] = field(default_factory=dict)  # shared (coherent mode)
+    # NVMM backend (cache_kind=nvmm): the write-ahead log to replay from
+    # instead of the extent file; ``local_file`` is None in that mode.
+    wal: Optional[object] = None
 
     def unflushed(self) -> list[tuple[int, int]]:
         """Extents written to the cache but not yet persisted globally."""
@@ -134,7 +137,10 @@ class CacheRecoveryRegistry:
         batch_chunks = max(1, cfg.flush_batch_chunks)
         for journal in mine:
             self._revoke_locks(journal)
-            local_file = localfs.open(journal.local_path, create=False)
+            wal = journal.wal
+            local_file = None
+            if wal is None:
+                local_file = localfs.open(journal.local_path, create=False)
             try:
                 batch = journal.sync_chunk * batch_chunks
                 for start, end in journal.unflushed():
@@ -144,7 +150,12 @@ class CacheRecoveryRegistry:
                         blen = min(batch, end - pos)
                         nchunks = math.ceil(blen / journal.sync_chunk)
                         try:
-                            data = yield from localfs.read(local_file, pos, blen)
+                            if wal is not None:
+                                # WAL replay: assemble from durable records
+                                # (torn records are CRC-skipped by the log).
+                                data = yield from wal.read(pos, blen)
+                            else:
+                                data = yield from localfs.read(local_file, pos, blen)
                             yield from client.write_sync(
                                 fd.pfs_file, pos, blen, data=data, rpc_count=nchunks
                             )
@@ -171,8 +182,12 @@ class CacheRecoveryRegistry:
                         pos += blen
                     self.extents_replayed += 1
             finally:
-                localfs.close(local_file)
-            if journal.discard_on_close and localfs.writable:
+                if local_file is not None:
+                    localfs.close(local_file)
+            if wal is not None:
+                if journal.discard_on_close:
+                    wal.discard()
+            elif journal.discard_on_close and localfs.writable:
                 if localfs.exists(journal.local_path):
                     localfs.unlink(journal.local_path)
             self.unregister(journal)

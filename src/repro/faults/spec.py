@@ -34,12 +34,24 @@ from typing import Any, Iterable, Mapping
 #:                       ``factor`` for ``duration`` seconds
 #: ``aggregator_crash``  every rank process is interrupted (job teardown);
 #:                       node-local state — page cache, cache files — survives
+#: ``ssd_gc_pressure``   writes on node ``target``'s cache device are
+#:                       stretched by ``factor`` for ``duration`` seconds
+#:                       (foreground garbage collection competing for the
+#:                       dies; never raises — the window only slows writes)
+#: ``nvmm_torn_write``   WAL appends on node ``target``'s NVMM region fail
+#:                       mid-record with probability ``rate`` inside the
+#:                       window, leaving a torn (bad-CRC) record in the log
+#:                       that recovery must skip (cache_kind=nvmm only;
+#:                       extent-mode caches never append to the WAL, so the
+#:                       window is harmless there)
 FAULT_KINDS = (
     "ssd_io_error",
     "ssd_device_loss",
     "server_stall",
     "link_degrade",
     "aggregator_crash",
+    "ssd_gc_pressure",
+    "nvmm_torn_write",
 )
 
 
@@ -69,6 +81,10 @@ class FaultSpec:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
         if self.kind == "link_degrade" and not 0.0 < self.factor:
             raise ValueError(f"link_degrade factor must be > 0, got {self.factor}")
+        if self.kind == "ssd_gc_pressure" and self.factor < 1.0:
+            raise ValueError(
+                f"ssd_gc_pressure factor must be >= 1 (a slowdown), got {self.factor}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -140,7 +156,12 @@ class FaultSchedule:
                     f"(start={spec.start}, delay={spec.delay}, "
                     f"duration={spec.duration})"
                 )
-            if spec.kind in ("ssd_io_error", "ssd_device_loss"):
+            if spec.kind in (
+                "ssd_io_error",
+                "ssd_device_loss",
+                "ssd_gc_pressure",
+                "nvmm_torn_write",
+            ):
                 if num_nodes is not None and spec.target >= num_nodes:
                     raise ValueError(
                         f"{where}: targets node {spec.target}, but the "

@@ -161,6 +161,14 @@ class FleetJobResult:
     fabric_bytes: float  # fabric bytes moved under this job's tag
     pfs_rpcs: int  # data-server RPCs served under this job's tag
     pfs_bytes: int
+    # Node-device ledgers under this job's tag (the fix for device stats
+    # bleeding across jobs that share a node over time: cumulative device
+    # totals are machine-lifetime, so each job reads its own tag instead).
+    ssd_requests: int = 0
+    ssd_bytes_written: int = 0
+    ssd_bytes_read: int = 0
+    nvmm_bytes_written: int = 0
+    nvmm_bytes_read: int = 0
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -378,12 +386,28 @@ def run_fleet(
 
     def _supervise(job: FleetJobSpec, view: JobView, placement):
         start = sim.now
-        status, bandwidth = yield from _job_body(view, job)
+        # Tag the placement's node devices for the duration of ownership:
+        # every SSD/NVMM request they serve is charged to this job's ledger
+        # (nodes are exclusively owned, so the tag is unambiguous).
+        tag = view.job_label
+        for node_id in placement:
+            node = machine.nodes[node_id]
+            node.ssd.job_tag = tag
+            node.nvmm.job_tag = tag
+        try:
+            status, bandwidth = yield from _job_body(view, job)
+        finally:
+            for node_id in placement:
+                node = machine.nodes[node_id]
+                node.ssd.job_tag = None
+                node.nvmm.job_tag = None
         end = sim.now
         solo_wall, solo_bw = solo[job.shape_key]
         queue_wait = start - submit_at[job.job_id]
         wall = end - start
         servers = machine.pfs.servers
+        ssds = [machine.nodes[n].ssd for n in placement]
+        nvmms = [machine.nodes[n].nvmm for n in placement]
         row = FleetJobResult(
             job_id=job.job_id,
             benchmark=job.benchmark,
@@ -409,6 +433,11 @@ def run_fleet(
             fabric_bytes=machine.fabric.bytes_moved_by_tag.get(view.job_label, 0.0),
             pfs_rpcs=sum(s.rpcs_by_tag.get(view.job_label, 0) for s in servers),
             pfs_bytes=sum(s.bytes_by_tag.get(view.job_label, 0) for s in servers),
+            ssd_requests=sum(d.requests_by_tag.get(tag, 0) for d in ssds),
+            ssd_bytes_written=sum(d.bytes_written_by_tag.get(tag, 0) for d in ssds),
+            ssd_bytes_read=sum(d.bytes_read_by_tag.get(tag, 0) for d in ssds),
+            nvmm_bytes_written=sum(d.bytes_written_by_tag.get(tag, 0) for d in nvmms),
+            nvmm_bytes_read=sum(d.bytes_read_by_tag.get(tag, 0) for d in nvmms),
         )
         rows[job.job_id] = row
         if row_cache is not None:

@@ -5,6 +5,23 @@ RAID6 server targets, node RAM).
 """
 
 from repro.hw.devices import HDDRaidDevice, SSDDevice, StorageDevice
+from repro.hw.flash import (
+    SSD_KINDS,
+    FlashSSDDevice,
+    NVMMDevice,
+    create_node_ssd,
+    default_ssd_kind,
+)
 from repro.hw.node import ComputeNode
 
-__all__ = ["ComputeNode", "HDDRaidDevice", "SSDDevice", "StorageDevice"]
+__all__ = [
+    "ComputeNode",
+    "FlashSSDDevice",
+    "HDDRaidDevice",
+    "NVMMDevice",
+    "SSDDevice",
+    "SSD_KINDS",
+    "StorageDevice",
+    "create_node_ssd",
+    "default_ssd_kind",
+]

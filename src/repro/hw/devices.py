@@ -40,12 +40,26 @@ class StorageDevice:
         self.bytes_read = 0
         self.requests_served = 0
         self.busy_time = 0.0
+        # Per-job accounting (repro.fleet): while a fleet job owns this
+        # node, its label is set here and every request is charged to the
+        # tag as well — the device-side analogue of DataServer.rpcs_by_tag.
+        # Cumulative totals above are machine-lifetime; successive jobs on
+        # the same node read their own tag instead of resetting them.
+        # Untagged (single-job) runs never touch the dicts.
+        self.job_tag: Optional[str] = None
+        self.requests_by_tag: dict[str, int] = {}
+        self.bytes_written_by_tag: dict[str, int] = {}
+        self.bytes_read_by_tag: dict[str, int] = {}
+        # Chrome-trace hook (attached by Machine when tracing is on; the
+        # FTL model emits GC records through it).
+        self.tracer = None
         # Fault-injection hooks (set by repro.faults.FaultInjector when a
         # schedule targets this device; a healthy run pays one None test).
         self.injector = None
         self.fault_node: Optional[int] = None
         self.read_only = False  # device failed into its end-of-life RO mode
         self.io_errors_injected = 0
+        self.injected_stall_time = 0.0  # ssd_gc_pressure windows (injected)
         # Bulk data-plane flag (set by Machine under REPRO_DATAPLANE=bulk):
         # when the queue is free and no injector is attached, an op's
         # duration is fully determined at issue time, so it is charged as a
@@ -55,6 +69,19 @@ class StorageDevice:
     # subclass hooks -----------------------------------------------------------
     def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
         raise NotImplementedError
+
+    # accounting -----------------------------------------------------------------
+    def _account(self, nbytes: int, is_write: bool) -> None:
+        self.requests_served += 1
+        if is_write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        tag = self.job_tag
+        if tag is not None:
+            self.requests_by_tag[tag] = self.requests_by_tag.get(tag, 0) + 1
+            ledger = self.bytes_written_by_tag if is_write else self.bytes_read_by_tag
+            ledger[tag] = ledger.get(tag, 0) + nbytes
 
     # generator API --------------------------------------------------------------
     def write(self, offset: int, nbytes: int):
@@ -75,11 +102,7 @@ class StorageDevice:
             try:
                 dt = self.service_time(offset, nbytes, is_write)
                 self.busy_time += dt
-                self.requests_served += 1
-                if is_write:
-                    self.bytes_written += nbytes
-                else:
-                    self.bytes_read += nbytes
+                self._account(nbytes, is_write)
                 yield self.sim.timeout(dt)
             finally:
                 self.queue.release()
@@ -90,12 +113,12 @@ class StorageDevice:
                 # May raise TransientIOError; the finally still releases.
                 self.injector.on_device_read(self, offset, nbytes)
             dt = self.service_time(offset, nbytes, is_write)
+            if self.injector is not None and is_write:
+                # GC-pressure windows stretch writes (never raise): the hook
+                # returns extra stall seconds for this request.
+                dt += self.injector.on_device_write(self, offset, nbytes, dt)
             self.busy_time += dt
-            self.requests_served += 1
-            if is_write:
-                self.bytes_written += nbytes
-            else:
-                self.bytes_read += nbytes
+            self._account(nbytes, is_write)
             yield self.sim.timeout(dt)
         finally:
             self.queue.release()
@@ -122,11 +145,7 @@ class StorageDevice:
     def _io_serve(self, offset: int, nbytes: int, is_write: bool, on_done) -> None:
         dt = self.service_time(offset, nbytes, is_write)
         self.busy_time += dt
-        self.requests_served += 1
-        if is_write:
-            self.bytes_written += nbytes
-        else:
-            self.bytes_read += nbytes
+        self._account(nbytes, is_write)
         def _served():
             self.queue.release()
             on_done()
@@ -156,12 +175,17 @@ class HDDRaidDevice(StorageDevice):
         self.rng = rng
         self._head_pos: Optional[int] = None
         self.seeks = 0
+        self.seeks_by_tag: dict[str, int] = {}
 
     def service_time(self, offset: int, nbytes: int, is_write: bool) -> float:
         sequential = self._head_pos is not None and offset == self._head_pos
         seek = self.seek_time * (self.sequential_seek_factor if sequential else 1.0)
         if not sequential:
             self.seeks += 1
+            if self.job_tag is not None:
+                self.seeks_by_tag[self.job_tag] = (
+                    self.seeks_by_tag.get(self.job_tag, 0) + 1
+                )
         self._head_pos = offset + nbytes
         base = seek + nbytes / self.stream_bw
         if self.jitter_sigma > 0.0 and self.rng is not None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.config import ClusterConfig
 from repro.hw.devices import SSDDevice
+from repro.hw.flash import NVMMDevice, create_node_ssd
 from repro.sim.core import Event, Simulator
 from repro.units import MiB
 
@@ -40,14 +41,21 @@ class PageCache:
         self.writeback_chunk = int(writeback_chunk)
         self.dirty = 0
         self._dirty_by_file: dict[int, int] = {}
+        # Dirty extents in write order per file: (offset, nbytes) at the
+        # file's real offsets, so writeback presents genuine addresses to
+        # the device.  The stream SSD model ignores offsets entirely (its
+        # service time and event sequence are unchanged); the FTL tier
+        # needs them to see the overwrite pattern cache files produce.
+        self._dirty_extents: dict[int, list[tuple[int, int]]] = {}
         self._throttle_waiters: list[Event] = []
         self._flush_waiters: list[tuple[int, Event]] = []  # (file_id, event)
         self._daemon_running = False
         self._wb_offset = 0
 
-    def buffered_write(self, file_id: int, nbytes: int):
+    def buffered_write(self, file_id: int, nbytes: int, offset: int = 0):
         """Generator: absorb ``nbytes`` into the page cache, throttling if full."""
         remaining = int(nbytes)
+        pos = int(offset)
         while remaining > 0:
             room = self.dirty_limit - self.dirty
             if room <= 0:
@@ -59,6 +67,8 @@ class PageCache:
             yield self.sim.timeout(chunk / self.memcpy_bw)
             self.dirty += chunk
             self._dirty_by_file[file_id] = self._dirty_by_file.get(file_id, 0) + chunk
+            self._dirty_extents.setdefault(file_id, []).append((pos, chunk))
+            pos += chunk
             remaining -= chunk
             self._ensure_daemon()
 
@@ -86,8 +96,7 @@ class PageCache:
             # per-inode round robin; exactness does not matter for timing).
             file_id = max(self._dirty_by_file, key=self._dirty_by_file.get)
             chunk = min(self.writeback_chunk, self._dirty_by_file[file_id])
-            yield from self.device.write(self._wb_offset, chunk)
-            self._wb_offset += chunk
+            yield from self.device.write(self._pop_extent(file_id, chunk), chunk)
             self.dirty -= chunk
             left = self._dirty_by_file[file_id] - chunk
             if left > 0:
@@ -96,6 +105,29 @@ class PageCache:
                 del self._dirty_by_file[file_id]
             self._wake_waiters()
         self._daemon_running = False
+
+    def _pop_extent(self, file_id: int, chunk: int) -> int:
+        """Consume ``chunk`` dirty bytes of ``file_id``'s extent FIFO and
+        return the device offset to write them at (the first piece's file
+        offset; one coalesced device write per chunk, as before)."""
+        extents = self._dirty_extents.get(file_id)
+        if not extents:  # defensive: ledger and extents should agree
+            off = self._wb_offset
+            self._wb_offset += chunk
+            return off
+        dev_off = extents[0][0]
+        need = chunk
+        while need > 0 and extents:
+            off, size = extents[0]
+            if size <= need:
+                extents.pop(0)
+                need -= size
+            else:
+                extents[0] = (off + need, size - need)
+                need = 0
+        if not extents:
+            self._dirty_extents.pop(file_id, None)
+        return dev_off
 
     def _wake_waiters(self) -> None:
         if self.dirty < self.dirty_limit and self._throttle_waiters:
@@ -119,14 +151,14 @@ class ComputeNode:
         self.sim = sim
         self.node_id = node_id
         self.config = config
-        self.ssd = SSDDevice(
-            sim,
-            name=f"ssd{node_id}",
-            write_bw=config.ssd.write_bw,
-            read_bw=config.ssd.read_bw,
-            latency=config.ssd.latency,
-            capacity_bytes=config.ssd.capacity,
-        )
+        # Device tier (ClusterConfig.ssd_kind / REPRO_SSD): the stream
+        # SSDDevice by default (byte-identical to pre-FTL results), or the
+        # page/block/LUN flash model — see repro.hw.flash and docs/DEVICES.md.
+        self.ssd = create_node_ssd(sim, node_id, config)
+        # Byte-addressable NVMM region (the cache_kind=nvmm WAL medium).
+        # Constructing it is event-free, so nodes always carry one and the
+        # extent-cache default never touches it.
+        self.nvmm = NVMMDevice(sim, name=f"nvmm{node_id}", nvmm=config.nvmm)
         self.page_cache = PageCache(
             sim,
             self.ssd,

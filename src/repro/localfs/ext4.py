@@ -169,7 +169,7 @@ class LocalFileSystem:
                 raise SimError(f"payload length {len(arr)} != nbytes {nbytes}")
             f.extents.append((offset, arr.copy()))
         f.size = max(f.size, end)
-        yield from self.node.page_cache.buffered_write(f.file_id, nbytes)
+        yield from self.node.page_cache.buffered_write(f.file_id, nbytes, offset=offset)
 
     def read(self, f: LocalFile, offset: int, nbytes: int):
         """Generator returning the requested bytes (None for virtual files).

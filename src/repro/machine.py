@@ -95,6 +95,8 @@ class Machine:
         bulk = self.dataplane == "bulk"
         for node in self.nodes:
             node.ssd.fast_path = bulk
+            node.nvmm.fast_path = bulk
+            node.ssd.tracer = self.tracer  # FTL GC records (no-op untraced)
         for server in self.pfs.servers:
             server.fast_path = bulk
             server.target.fast_path = bulk

@@ -12,6 +12,7 @@ extensions).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping, Optional
 
@@ -20,6 +21,23 @@ from repro.units import KiB, MiB, parse_size
 
 class HintError(ValueError):
     """An understood hint was given a value outside its domain."""
+
+
+#: Recognised cache backends (the ``e10_cache_kind`` hint / REPRO_CACHE_KIND
+#: values): ``extent`` = sparse file on the scratch SSD (the paper's design),
+#: ``nvmm`` = write-ahead log on byte-addressable persistent memory
+#: (:mod:`repro.cache.nvmlog`).
+CACHE_KINDS = ("extent", "nvmm")
+
+
+def default_cache_kind() -> str:
+    """The REPRO_CACHE_KIND environment selection (default: extent)."""
+    kind = os.environ.get("REPRO_CACHE_KIND", "extent")
+    if kind not in CACHE_KINDS:
+        raise ValueError(
+            f"REPRO_CACHE_KIND={kind!r}: expected one of {CACHE_KINDS}"
+        )
+    return kind
 
 
 _TRISTATE = ("enable", "disable", "automatic")
@@ -53,6 +71,7 @@ class Hints:
     e10_cache_path: str = "/scratch"
     e10_cache_flush_flag: str = "flush_onclose"
     e10_cache_discard_flag: str = "enable"
+    e10_cache_kind: str = field(default_factory=default_cache_kind)
 
     unknown: dict[str, str] = field(default_factory=dict)
 
@@ -110,6 +129,8 @@ class Hints:
                 h.e10_cache_flush_flag = _choice(key, value, _FLUSH_FLAGS)
             elif key == "e10_cache_discard_flag":
                 h.e10_cache_discard_flag = _choice(key, value, _ONOFF)
+            elif key == "e10_cache_kind":
+                h.e10_cache_kind = _choice(key, value, CACHE_KINDS)
             else:
                 h.unknown[key] = value  # MPI says: ignore, but keep for inspection
         return h.validate()
@@ -135,6 +156,11 @@ class Hints:
             raise HintError(
                 f"hint e10_cache_path={self.e10_cache_path!r}: must be a "
                 "non-empty path when e10_cache is enabled"
+            )
+        if self.e10_cache_kind not in CACHE_KINDS:
+            raise HintError(
+                f"hint e10_cache_kind={self.e10_cache_kind!r}: expected one "
+                f"of {CACHE_KINDS}"
             )
         return self
 

@@ -1,0 +1,204 @@
+"""FTL flash model: kind selection, GC thresholds, write amplification,
+and the erase-before-program invariant.
+
+The FTL runs entirely inside ``service_time`` — these tests drive it
+synchronously (no simulator events needed) with a shrunken geometry so a
+few hundred page writes cycle the whole logical space.
+"""
+
+import pytest
+
+from repro.config import FlashConfig, SSDConfig, small_testbed
+from repro.hw.devices import SSDDevice
+from repro.hw.flash import FlashSSDDevice, SSD_KINDS, create_node_ssd, default_ssd_kind
+from repro.sim.core import Simulator
+
+#: 512 B pages, 8-page blocks, 2 LUNs, generous OP: tiny but structurally
+#: identical to the real geometry.
+TINY = FlashConfig(
+    page_size=512,
+    pages_per_block=8,
+    num_luns=2,
+    over_provisioning=0.25,
+    gc_free_fraction=0.25,
+)
+CAPACITY = 64 * 512  # 64 logical pages -> 8 logical blocks
+
+
+def make(flash=TINY, capacity=CAPACITY):
+    return FlashSSDDevice(Simulator(), "f", flash=flash, capacity_bytes=capacity)
+
+
+def check_ftl_consistency(dev):
+    """Structural FTL invariants that must hold after any operation mix."""
+    # L2P and P2L are inverse bijections.
+    assert len(dev._l2p) == len(dev._p2l)
+    for lpn, ppn in dev._l2p.items():
+        assert dev._p2l[ppn] == lpn
+        # LUN striping: lpn n lives on LUN n % num_luns.
+        assert (ppn // dev.pages_per_block) % dev.num_luns == lpn % dev.num_luns
+    # Valid counts match the mapping, and no block programs past its end
+    # (erase-before-program: a slot is written at most once per cycle).
+    for block in range(dev.num_blocks):
+        base = block * dev.pages_per_block
+        mapped = sum(1 for p in range(base, base + dev.pages_per_block) if p in dev._p2l)
+        assert dev._valid[block] == mapped
+        assert 0 <= dev._next_slot[block] <= dev.pages_per_block
+        assert dev._valid[block] <= dev._next_slot[block]
+
+
+class TestKindSelection:
+    def test_kinds(self):
+        assert SSD_KINDS == ("stream", "ftl")
+
+    def test_default_is_stream(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SSD", raising=False)
+        assert default_ssd_kind() == "stream"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SSD", "ftl")
+        assert default_ssd_kind() == "ftl"
+
+    def test_unknown_kind_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SSD", "optane")
+        with pytest.raises(ValueError):
+            default_ssd_kind()
+
+    def test_create_node_ssd_dispatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SSD", raising=False)
+        sim = Simulator()
+        cfg = small_testbed()
+        assert isinstance(create_node_ssd(sim, 0, cfg), SSDDevice)
+        monkeypatch.setenv("REPRO_SSD", "ftl")
+        assert isinstance(create_node_ssd(sim, 0, cfg), FlashSSDDevice)
+        # An explicit config value wins over the environment.
+        monkeypatch.setenv("REPRO_SSD", "stream")
+        ftl = create_node_ssd(sim, 1, cfg.scaled(ssd_kind="ftl"))
+        assert isinstance(ftl, FlashSSDDevice)
+
+    def test_explicit_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            create_node_ssd(Simulator(), 0, small_testbed(ssd_kind="slc"))
+
+
+class TestFreshDevice:
+    def test_sequential_fill_has_no_amplification(self):
+        dev = make()
+        for page in range(dev.logical_pages):
+            dev.service_time(page * 512, 512, is_write=True)
+        assert dev.host_pages_programmed == dev.logical_pages
+        assert dev.gc_pages_programmed == 0
+        assert dev.write_amplification == 1.0
+        assert dev.gc_stall_time == 0.0
+        check_ftl_consistency(dev)
+
+    def test_luns_program_in_parallel(self):
+        dev = make()
+        one = dev.service_time(0, 512, True)
+        # Two pages land on two different LUNs: same program latency.
+        two = dev.service_time(512, 2 * 512, True)
+        assert two == pytest.approx(one)
+
+    def test_read_faster_than_write_and_pure(self):
+        dev = make()
+        write_time = dev.service_time(0, 4096, True)
+        before = dict(dev._l2p)
+        assert dev.service_time(0, 4096, False) < write_time
+        assert dev._l2p == before  # reads never touch the mapping
+        assert dev.pages_read > 0
+
+    def test_gc_reserve_floor(self):
+        # At least 2 blocks so relocation always has somewhere to write.
+        dev = make(FlashConfig(page_size=512, pages_per_block=8, num_luns=2,
+                               gc_free_fraction=0.0))
+        assert dev.gc_reserve_blocks >= 2
+
+
+class TestGarbageCollection:
+    def overwrite(self, dev, passes, seed=7):
+        """Steady random overwrite — the sync thread's aging pattern."""
+        import random
+
+        rng = random.Random(seed)
+        pages = dev.logical_pages
+        for _ in range(passes * pages):
+            dev.service_time(rng.randrange(pages) * 512, 512, True)
+
+    def test_overwrite_triggers_gc_and_amplification(self):
+        dev = make()
+        self.overwrite(dev, passes=6)
+        assert dev.gc_runs > 0
+        assert dev.blocks_erased > 0
+        assert dev.gc_stall_time > 0.0
+        assert dev.write_amplification > 1.0
+        check_ftl_consistency(dev)
+
+    def test_overwrite_in_place_is_cheap(self):
+        # Rewriting one page over and over invalidates immediately: the
+        # victim block is always fully invalid, so GC erases without
+        # relocating and WA stays at 1.
+        dev = make()
+        for _ in range(12 * dev.pages_per_block):
+            dev.service_time(0, 512, True)
+        assert dev.gc_runs > 0
+        assert dev.gc_pages_programmed == 0
+        assert dev.write_amplification == 1.0
+        check_ftl_consistency(dev)
+
+    def test_deterministic(self):
+        a, b = make(), make()
+        self.overwrite(a, passes=4)
+        self.overwrite(b, passes=4)
+        assert a.stats() == b.stats()
+
+    def test_stats_keys(self):
+        dev = make()
+        self.overwrite(dev, passes=4)
+        s = dev.stats()
+        assert s["host_pages_programmed"] > 0
+        assert s["write_amplification"] == dev.write_amplification
+        assert s["gc_stall_time"] == dev.gc_stall_time
+
+    def test_gc_stall_charged_to_triggering_request(self):
+        """The host request that trips GC pays erase + relocation time."""
+        dev = make()
+        baseline = dev.service_time(0, 512, True)
+        self.overwrite(dev, passes=3)
+        stalled = 0.0
+        import random
+
+        rng = random.Random(11)
+        before = dev.gc_stall_time
+        for _ in range(6 * dev.logical_pages):
+            t = dev.service_time(rng.randrange(dev.logical_pages) * 512, True and 512, True)
+            stalled = max(stalled, t)
+        assert dev.gc_stall_time > before
+        assert stalled > baseline  # some request visibly paid a GC stall
+
+
+class TestThroughMachine:
+    def test_ftl_machine_accounts_amplification(self):
+        """An ftl machine's node SSDs age under a direct overwrite load."""
+        from repro.machine import Machine
+
+        cfg = small_testbed(
+            ssd_kind="ftl",
+            ssd=SSDConfig(capacity=CAPACITY),
+            flash=TINY,
+        )
+        m = Machine(cfg)
+        dev = m.nodes[0].ssd
+        assert isinstance(dev, FlashSSDDevice)
+
+        def proc():
+            import random
+
+            rng = random.Random(3)
+            for _ in range(5 * dev.logical_pages):
+                yield from dev.write(rng.randrange(dev.logical_pages) * 512, 512)
+
+        m.sim.run(until=m.sim.process(proc()))
+        assert dev.write_amplification > 1.0
+        assert dev.gc_stall_time > 0.0
+        assert dev.bytes_written == 5 * dev.logical_pages * 512
+        check_ftl_consistency(dev)
