@@ -9,10 +9,13 @@ Two concerns, one report (``BENCH_fleet.json``):
   same aggregate summary.  The fleet timeline is part of the repo's
   differential-testing contract, so any divergence fails the benchmark
   (non-zero exit) before check_bench even looks at the numbers.
-* **Throughput scaling** — fleets of {16, 64, 256} jobs (quick mode stops
-  at 16) on the slotted engine + bulk dataplane, recording wall time,
-  events fired, events/s and jobs/s.  The per-combo events-fired counts
-  are bit-reproducible and gated exactly by ``check_bench.py --fleet``.
+* **Throughput scaling** — fleets of {16, 64, 256, 1024} jobs (quick mode
+  stops at 16) on the slotted engine + bulk dataplane, recording wall
+  time, events fired, events/s and jobs/s.  The per-combo events-fired
+  counts are bit-reproducible and gated exactly by ``check_bench.py
+  --fleet``; the 1024-job point additionally gates under a generous wall
+  ceiling (the thousands-of-jobs evidence the array fair-share kernel
+  exists to unblock).
 
 Usage::
 
@@ -45,7 +48,11 @@ BENCH_SCALE = 0.03125  # same quick scale as bench_engine / the CI grids
 
 AB_FLEET_SIZE = 16
 QUICK_SIZES = (16,)
-FULL_SIZES = (16, 64, 256)
+# 1024 jobs is the thousands-of-jobs scale point the array fair-share
+# kernel unblocks (ROADMAP open item 2): the point streams into
+# BENCH_fleet.json like the others and check_bench --fleet gates it under
+# a generous wall ceiling (benchmarks/baseline_quick.json).
+FULL_SIZES = (16, 64, 256, 1024)
 ENGINES = ("slotted", "heapq")
 DATAPLANES = ("bulk", "chunked")
 
@@ -141,7 +148,7 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="A/B grid + 16-job scaling (CI)"
     )
     mode.add_argument(
-        "--full", action="store_true", help="A/B grid + {16,64,256} scaling"
+        "--full", action="store_true", help="A/B grid + {16,64,256,1024} scaling"
     )
     parser.add_argument("--out", default="BENCH_fleet.json")
     args = parser.parse_args(argv)

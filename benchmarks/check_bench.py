@@ -86,6 +86,11 @@ def check_throughput_floors(
                 failures.append(
                     f"engine_grid_ab.{kind}: {got:.0f} ev/s < floor {floor}"
                 )
+        grid = reports["engine"].get("grid_ab", {})
+        for kind, floor in floors.get("grid_ab", {}).items():
+            got = grid.get(kind, {}).get("events_per_sec", 0.0)
+            if got < floor:
+                failures.append(f"grid_ab.{kind}: {got:.0f} ev/s < floor {floor}")
     if "fleet" in reports:
         grid = reports["fleet"].get("fleet_grid_ab", {})
         for kind, floor in floors.get("fleet_grid_ab", {}).items():
@@ -98,6 +103,34 @@ def check_throughput_floors(
             failures.append(
                 "fleet_grid_ab: engine x dataplane identities diverge "
                 f"({', '.join(grid.get('mismatches', ['?']))})"
+            )
+
+
+def check_fleet_scaling(baseline: dict, reports: dict, failures: list[str]) -> None:
+    """Gate fleet scaling points against generous wall ceilings.
+
+    The ceilings prove the array kernel sustains thousands-of-jobs fleets
+    (the 1024-job point) without flaking on runner weather: they sit far
+    above the reference box's wall time, catching only an order-of-magnitude
+    solver regression.  Sizes absent from the report (quick mode stops at
+    16 jobs) are skipped."""
+    ceilings = baseline.get("fleet_scaling_wall_ceilings")
+    report = reports.get("fleet")
+    if ceilings is None or report is None:
+        return
+    scaling = report.get("fleet_scaling", {})
+    for size, ceiling in ceilings.items():
+        point = scaling.get(size)
+        if point is None:
+            continue
+        wall = point.get("wall_s")
+        if wall is None or wall > ceiling:
+            failures.append(
+                f"fleet_scaling.{size}: wall {wall}s > generous ceiling {ceiling}s"
+            )
+        if point.get("jobs_failed"):
+            failures.append(
+                f"fleet_scaling.{size}: {point['jobs_failed']} jobs failed"
             )
 
 
@@ -201,6 +234,7 @@ def main(argv=None) -> int:
     check_ok_flags(reports, failures)
     check_events_exact(baseline, reports, failures)
     check_throughput_floors(baseline, reports, failures)
+    check_fleet_scaling(baseline, reports, failures)
     check_device_tier(baseline, reports, failures)
 
     if failures:

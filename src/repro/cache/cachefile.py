@@ -93,11 +93,14 @@ class CacheState:
 
     # -- space management (ADIOI_Cache_alloc) ----------------------------------
     def allocate(self, offset: int, nbytes: int):
-        """Generator: reserve cache space via fallocate; ENOSPC propagates."""
+        """Reserve cache space via fallocate; ENOSPC propagates.
+
+        Dispatch, not a generator: returns the backend's generator directly
+        so callers drive one frame less (``yield from`` semantics are
+        unchanged — first-resume exceptions surface at the same point)."""
         if self.wal is not None:
-            yield from self.wal.reserve(offset, nbytes)
-            return
-        yield from self.localfs.fallocate(self.local_file, offset, nbytes)
+            return self.wal.reserve(offset, nbytes)
+        return self.localfs.fallocate(self.local_file, offset, nbytes)
 
     # -- the write path (called from ADIOI_GEN_WriteContig) ---------------------
     def write_through_cache(self, offset: int, nbytes: int, data: Optional[np.ndarray]):
@@ -151,7 +154,8 @@ class CacheState:
         return greq
 
     def _backend_write(self, offset: int, nbytes: int, data: Optional[np.ndarray]):
-        """Generator: store one extent in the active backend.
+        """Store one extent in the active backend (dispatch; see
+        :meth:`allocate` for why this is not itself a generator).
 
         Extent mode delegates to the local FS; NVMM mode appends to the
         write-ahead log, retrying torn appends (a torn record was never
@@ -159,8 +163,10 @@ class CacheState:
         backoff schedule before letting the error degrade the cache.
         """
         if self.wal is None:
-            yield from self.localfs.write(self.local_file, offset, nbytes, data)
-            return
+            return self.localfs.write(self.local_file, offset, nbytes, data)
+        return self._wal_write(offset, nbytes, data)
+
+    def _wal_write(self, offset: int, nbytes: int, data: Optional[np.ndarray]):
         attempts = 0
         while True:
             try:

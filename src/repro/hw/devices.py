@@ -173,6 +173,7 @@ class HDDRaidDevice(StorageDevice):
         self.sequential_seek_factor = float(sequential_seek_factor)
         self.jitter_sigma = float(jitter_sigma)
         self.rng = rng
+        self._jitter = None  # cached draw callable (lazy: rng may be swapped)
         self._head_pos: Optional[int] = None
         self.seeks = 0
         self.seeks_by_tag: dict[str, int] = {}
@@ -189,7 +190,12 @@ class HDDRaidDevice(StorageDevice):
         self._head_pos = offset + nbytes
         base = seek + nbytes / self.stream_bw
         if self.jitter_sigma > 0.0 and self.rng is not None:
-            base *= self.rng.lognormal_factor(f"{self.name}.jitter", self.jitter_sigma)
+            jitter = self._jitter
+            if jitter is None:
+                jitter = self._jitter = self.rng.lognormal_fn(
+                    f"{self.name}.jitter", self.jitter_sigma
+                )
+            base *= jitter()
         return base
 
 

@@ -35,6 +35,25 @@ class IntervalSet:
         if end == start:
             return
         starts, ends = self._starts, self._ends
+        # Tail fast paths: coverage tracking is overwhelmingly sequential
+        # (cache extents, sync progress), so most adds land at or beyond the
+        # rightmost run — no bisect or insert needed.
+        if not starts:
+            starts.append(start)
+            ends.append(end)
+            self._total += end - start
+            return
+        last_end = ends[-1]
+        if start > last_end:  # strictly past the tail: new rightmost run
+            starts.append(start)
+            ends.append(end)
+            self._total += end - start
+            return
+        if start >= starts[-1]:  # touches/overlaps only the tail run
+            if end > last_end:
+                ends[-1] = end
+                self._total += end - last_end
+            return
         # Runs that touch [start, end): first with end >= start, last with start <= end.
         lo = bisect_left(ends, start)
         hi = bisect_right(starts, end)

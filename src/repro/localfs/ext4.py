@@ -157,7 +157,13 @@ class LocalFileSystem:
 
     # -- I/O -------------------------------------------------------------------
     def write(self, f: LocalFile, offset: int, nbytes: int, data: Optional[np.ndarray] = None):
-        """Generator: buffered write (page cache, dirty throttling)."""
+        """Buffered write (page cache, dirty throttling).
+
+        Dispatch, not a generator: the eager checks/charges run at call
+        time (the same instant a ``yield from`` would start the frame) and
+        the page-cache generator is returned directly — one frame less on
+        the hot cached-write chain.
+        """
         if nbytes < 0:
             raise SimError("negative write size")
         self._check_writable()
@@ -169,7 +175,7 @@ class LocalFileSystem:
                 raise SimError(f"payload length {len(arr)} != nbytes {nbytes}")
             f.extents.append((offset, arr.copy()))
         f.size = max(f.size, end)
-        yield from self.node.page_cache.buffered_write(f.file_id, nbytes, offset=offset)
+        return self.node.page_cache.buffered_write(f.file_id, nbytes, offset=offset)
 
     def read(self, f: LocalFile, offset: int, nbytes: int):
         """Generator returning the requested bytes (None for virtual files).

@@ -49,9 +49,11 @@ class Machine:
         self.rng = RngStreams(config.seed)
         self.tracer = Tracer(enabled=trace)
         endpoints = ParallelFileSystem.fabric_endpoints(config)
-        # Allocator selection (REPRO_FABRIC): the incremental max-min
-        # allocator by default, the naive full-recompute reference for A/B
-        # determinism checks — see docs/PERFORMANCE.md.
+        # Allocator selection (REPRO_FABRIC): the flat-array max-min kernel
+        # with converged-rate memoization by default (array), the incremental
+        # dirty-component allocator and the naive full-recompute reference
+        # kept for A/B determinism checks — see docs/PERFORMANCE.md
+        # ("Array fair-share kernel").
         self.fabric = create_fabric(
             self.sim,
             num_nodes=endpoints,

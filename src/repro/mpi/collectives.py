@@ -101,6 +101,77 @@ class _Slot:
     release: dict[int, Event] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
     shared: Optional[Event] = None  # bulk data plane: one release for all ranks
+    # Ladder pre-registration (see ModelCollectives.timed_ladder): ranks
+    # counted as arrived without an entry in ``arrivals``.  ``pre_duration``
+    # is the duration every pre-registered rank would have passed — by
+    # construction identical to what the live arrivals pass.
+    pre: int = 0
+    pre_duration: float = 0.0
+
+
+class _Ladder:
+    """Bookkeeping for one pre-registered run of timed slots.
+
+    Members (ranks that take no per-round action) are counted into every
+    slot of the run up-front; the ladder reproduces their per-round
+    profiler laps bit-for-bit via release hooks.  Members with identical
+    starting phase totals share one running sum (``groups``), so the
+    float accumulation sequence ``s0 + d0 + d1 + ...`` matches what each
+    member's own ``lap`` calls would have produced.
+    """
+
+    __slots__ = ("base", "t_prev", "phases", "final", "groups", "members", "tail_slot")
+
+    def __init__(self, base: int, now: float, phases: tuple[str, ...]):
+        self.base = base
+        self.t_prev = now  # release time of the previous slot (creation = round-0 arrival)
+        self.phases = phases
+        self.final: Optional[Event] = None
+        self.groups: dict[tuple, dict[str, float]] = {}
+        self.members: dict[tuple, list[dict[str, float]]] = {}
+        self.tail_slot: Optional[_Slot] = None
+
+    def join(self, seconds: dict[str, float]) -> None:
+        key = tuple(seconds.get(p, 0.0) for p in self.phases)
+        group = self.groups.get(key)
+        if group is None:
+            self.groups[key] = dict(zip(self.phases, key))
+            self.members[key] = [seconds]
+        else:
+            self.members[key].append(seconds)
+
+
+class _LadderHook:
+    """Per-slot release callback: advances every group's running phase sum.
+
+    Appended to the slot's shared event at ladder creation — before any
+    member's resume callback — so the final slot's write-back lands before
+    members continue into ``post_write``.
+    """
+
+    __slots__ = ("model", "ladder", "phase", "final")
+
+    def __init__(self, model: "ModelCollectives", ladder: _Ladder, phase: str, final: bool):
+        self.model = model
+        self.ladder = ladder
+        self.phase = phase
+        self.final = final
+
+    def __call__(self, _event: Event) -> None:
+        ladder = self.ladder
+        now = self.model.sim.now
+        dt = now - ladder.t_prev
+        ladder.t_prev = now
+        phase = self.phase
+        for sums in ladder.groups.values():
+            sums[phase] = sums[phase] + dt
+        if self.final:
+            groups = ladder.groups
+            for key, members in ladder.members.items():
+                sums = groups[key]
+                for seconds in members:
+                    seconds.update(sums)
+            del self.model._ladders[ladder.base]
 
 
 class ModelCollectives:
@@ -130,6 +201,7 @@ class ModelCollectives:
         self.shared_release = shared_release
         self._slot_index = [0] * nprocs
         self._slots: dict[int, _Slot] = {}
+        self._ladders: dict[int, _Ladder] = {}
         self.invocations = 0
 
     def enter(self, rank: int, op_name: str, value: Any = None, **extra):
@@ -150,13 +222,13 @@ class ModelCollectives:
         for key, val in extra.items():
             slot.extra.setdefault(key, {})[rank] = val
         if slot.shared is not None:
-            if len(slot.arrivals) == self.nprocs:
+            if len(slot.arrivals) + slot.pre == self.nprocs:
                 self._complete(idx, slot)
             results = yield slot.shared
             return results[rank]
         ev = Event(self.sim, name=f"coll:{op_name}[{idx}]r{rank}")
         slot.release[rank] = ev
-        if len(slot.arrivals) == self.nprocs:
+        if len(slot.arrivals) + slot.pre == self.nprocs:
             self._complete(idx, slot)
         result = yield ev
         return result
@@ -218,16 +290,167 @@ class ModelCollectives:
             )
         slot.arrivals[rank] = duration
         if slot.shared is not None:
-            if len(slot.arrivals) == self.nprocs:
+            if len(slot.arrivals) + slot.pre == self.nprocs:
                 self._complete(idx, slot)
             return slot.shared
         # Pooled on the slotted engine; the plain op_name (no per-rank
         # f-string) keeps the hot per-rank release path allocation-free.
         ev = self.sim.event(op_name)
         slot.release[rank] = ev
-        if len(slot.arrivals) == self.nprocs:
+        if len(slot.arrivals) + slot.pre == self.nprocs:
             self._complete(idx, slot)
         return ev
+
+    def enter_event(self, rank: int, op_name: str, value: Any = None, **extra) -> Event:
+        """Flat fast path for :meth:`enter`: identical arrival bookkeeping,
+        but the shared release event is *returned* for the rank body to
+        ``yield`` directly — no generator frame per rank per collective.
+
+        Only valid with ``shared_release``, and only for call sites that
+        discard the collective's result: the event's value is the whole
+        results dict, not this rank's entry.
+        """
+        if not self.shared_release:  # pragma: no cover - callers gate on it
+            raise SimError("enter_event requires shared_release collectives")
+        idx = self._slot_index[rank]
+        self._slot_index[rank] += 1
+        slot = self._slots.get(idx)
+        if slot is None:
+            slot = self._slots[idx] = _Slot(op_name=op_name)
+            slot.shared = Event(self.sim, name=f"coll:{op_name}[{idx}]")
+        if slot.op_name != op_name:
+            raise SimError(
+                f"collective mismatch at slot {idx}: rank {rank} called "
+                f"{op_name!r} but others called {slot.op_name!r}"
+            )
+        slot.arrivals[rank] = value
+        for key, val in extra.items():
+            slot.extra.setdefault(key, {})[rank] = val
+        if len(slot.arrivals) + slot.pre == self.nprocs:
+            self._complete(idx, slot)
+        return slot.shared
+
+    def timed_ladder(
+        self,
+        rank: int,
+        steps: list[tuple[str, float, str]],
+        width: int,
+        seconds: dict[str, float],
+        tail: Optional[tuple] = None,
+    ) -> Event:
+        """Pre-register ``rank`` into its next ``len(steps)`` timed slots.
+
+        The fast path for ranks that take *no per-round action* inside a
+        run of back-to-back timed collectives (the ext2ph round loop seen
+        by non-aggregators): instead of arriving at each of the ``2n``
+        slots round by round — one resume + one arrival per slot — the
+        rank is counted into every slot at once and parks on the final
+        slot's shared release event, which this method returns for the
+        caller to ``yield``.
+
+        ``steps`` is the run's ``(label, duration, phase)`` sequence; the
+        durations must equal what the live ranks pass through
+        :meth:`timed_event` for the same slots (they are computed from the
+        same shared call state).  ``width`` is the total number of ranks
+        that will take this ladder (all must, and none may also arrive
+        live).  ``seconds`` is the member's profiler phase dict; release
+        hooks reproduce the member's per-round lap additions bit-for-bit
+        (see :class:`_Ladder`), so phase totals are byte-identical to the
+        round-by-round path.
+
+        Timestamp identity: completion of a slot moves earlier only
+        *within* the release instant of the previous slot (pre-counted
+        ranks would have arrived in that same instant, after callbacks
+        that do no scheduling), so all release times — and therefore all
+        durations charged to every rank — are unchanged.
+
+        ``tail`` optionally extends the run with one trailing *value*
+        collective ``(op_name, value, extra, phase)`` shared with the
+        live ranks (ext2ph's post-write allreduce): the member's arrival
+        is recorded in the tail slot's ``arrivals`` — NOT pre-counted,
+        because value collectives fold ``arrivals[r]`` for every rank —
+        and the ladder parks on the tail's release instead.  Arrival
+        order is irrelevant to the fold (it walks ranks in index order),
+        so members arriving at ladder creation rather than after round
+        ``n`` changes no result.  The tail's release hook writes the
+        member's final phase lap, replacing the member's own post-release
+        lap; callers skip their live-path tail collective when the ladder
+        covers it.
+        """
+        if not self.shared_release:  # pragma: no cover - callers gate on it
+            raise SimError("timed_ladder requires shared_release collectives")
+        idx = self._slot_index[rank]
+        self._slot_index[rank] = idx + len(steps) + (1 if tail is not None else 0)
+        ladder = self._ladders.get(idx)
+        if ladder is None:
+            ladder = self._create_ladder(idx, steps, width, tail)
+        ladder.join(seconds)
+        tail_slot = ladder.tail_slot
+        if tail_slot is not None:
+            _op, value, extra, _phase = tail
+            tail_slot.arrivals[rank] = value
+            for key, val in extra.items():
+                tail_slot.extra.setdefault(key, {})[rank] = val
+            # Live ranks cannot have all arrived yet (they are behind the
+            # timed slots this ladder just created), so no completion
+            # check is needed here.
+        return ladder.final
+
+    def _create_ladder(self, base: int, steps, width: int, tail: Optional[tuple]) -> _Ladder:
+        sim = self.sim
+        nsteps = len(steps)
+        phases: list[str] = []
+        for _label, _duration, phase in steps:
+            if phase not in phases:
+                phases.append(phase)
+        if tail is not None and tail[3] not in phases:
+            phases.append(tail[3])
+        ladder = _Ladder(base, sim.now, tuple(phases))
+        self._ladders[base] = ladder
+        has_tail = tail is not None
+        for j, (label, duration, phase) in enumerate(steps):
+            op_name = f"timed:{label}"
+            idx = base + j
+            # Slot 0 may already exist (live ranks resumed ahead of the
+            # first member within this instant); later slots cannot — the
+            # lock-step live ranks cannot pass slot 0 before the ladder's
+            # pre-registrations land.
+            slot = self._slots.get(idx)
+            if slot is None:
+                slot = self._slots[idx] = _Slot(op_name=op_name)
+                slot.shared = Event(self.sim, name=f"coll:{op_name}[{idx}]")
+            elif slot.op_name != op_name:
+                raise SimError(
+                    f"collective mismatch at slot {idx}: ladder step "
+                    f"{op_name!r} but others called {slot.op_name!r}"
+                )
+            slot.pre = width
+            slot.pre_duration = duration
+            # Before any member resume callback: members yield the final
+            # event only after this loop runs.
+            final = j == nsteps - 1 and not has_tail
+            slot.shared.callbacks.append(_LadderHook(self, ladder, phase, final))
+        if has_tail:
+            tail_op, _value, _extra, tail_phase = tail
+            idx = base + nsteps
+            slot = self._slots.get(idx)
+            if slot is None:
+                slot = self._slots[idx] = _Slot(op_name=tail_op)
+                slot.shared = Event(self.sim, name=f"coll:{tail_op}[{idx}]")
+            elif slot.op_name != tail_op:  # pragma: no cover - symmetric callers
+                raise SimError(
+                    f"collective mismatch at slot {idx}: ladder tail "
+                    f"{tail_op!r} but others called {slot.op_name!r}"
+                )
+            slot.shared.callbacks.append(_LadderHook(self, ladder, tail_phase, True))
+            ladder.tail_slot = slot
+            ladder.final = slot.shared
+        else:
+            ladder.final = self._slots[base + nsteps - 1].shared
+        first = self._slots[base]
+        if len(first.arrivals) + first.pre == self.nprocs:
+            self._complete(base, first)
+        return ladder
 
     # completion -------------------------------------------------------------
     def _complete(self, idx: int, slot: _Slot) -> None:
@@ -266,7 +489,15 @@ class ModelCollectives:
             duration = costs.latency_bound(self.nprocs) + nbytes * costs.beta_inv
             results = {r: value for r in slot.arrivals}
         elif op.startswith("timed:"):
-            duration = max(float(v) for v in slot.arrivals.values())
+            # Pre-registered ranks pass (by construction) the same duration
+            # as every live arrival, so folding in ``pre_duration`` keeps
+            # the max bit-identical to the all-live path.
+            if slot.arrivals:
+                duration = max(float(v) for v in slot.arrivals.values())
+                if slot.pre and slot.pre_duration > duration:
+                    duration = slot.pre_duration
+            else:
+                duration = float(slot.pre_duration)
             results = {r: None for r in slot.arrivals}
         elif op == "shuffle":
             out_node: dict[int, float] = {}

@@ -119,6 +119,45 @@ class Communicator:
         """Pre-costed synchronisation point (see ModelCollectives.timed)."""
         return self._model.timed(rank, duration, label)
 
+    @property
+    def shared_release(self) -> bool:
+        return self._model.shared_release
+
+    @property
+    def flat_events(self) -> bool:
+        """True when collectives can be yielded as bare release events.
+
+        Call sites that discard a collective's result use this to pick the
+        ``*_event`` fast path (``yield comm.barrier_event(rank)``) instead
+        of driving a generator (``yield from comm.barrier(rank)``): same
+        slot bookkeeping, same release event, same timestamps — one less
+        generator frame per rank per collective.
+        """
+        return (
+            self.sim.flat
+            and self.collective_mode == "model"
+            and self._model.shared_release
+        )
+
+    def barrier_event(self, rank: int):
+        return self._model.enter_event(rank, "barrier")
+
+    def allreduce_event(self, rank: int, value: Any, op: Op = op_sum, nbytes: int = 8):
+        return self._model.enter_event(
+            rank, "allreduce", value, reduce_op=op, nbytes=nbytes
+        )
+
+    def bcast_event(self, rank: int, value: Any, root: int = 0, nbytes: int = 8):
+        return self._model.enter_event(
+            rank, "bcast", (value if rank == root else None), root=root, nbytes=nbytes
+        )
+
+    def timed_ladder(self, rank, steps, width, seconds, tail=None):
+        """Pre-register ``rank`` into its next ``len(steps)`` timed slots
+        (plus an optional trailing value collective) and return the final
+        release Event (see ModelCollectives.timed_ladder)."""
+        return self._model.timed_ladder(rank, steps, width, seconds, tail)
+
     def timed_event(self, rank: int, duration: float, label: str = "timed"):
         """Flat variant of :meth:`timed`: returns the release Event to yield
         directly (see ModelCollectives.timed_event).  ``sim.flat`` call

@@ -13,9 +13,14 @@ funnelling into few aggregator NICs.
 Intra-node transfers bypass the NIC links and move at the (higher) memory
 copy bandwidth.
 
-Two allocators implement the same model (see docs/PERFORMANCE.md):
+Three allocators implement the same model (see docs/PERFORMANCE.md):
 
-* :class:`Fabric` (the default) recomputes **incrementally**: only the
+* :class:`repro.net.fabric_array.ArrayFabric` (``REPRO_FABRIC=array``, the
+  default) runs the incremental dirty-component scheme below but lowers the
+  filling loop onto flat arrays, memoizes converged rate vectors by
+  component topology signature, and replaces the flush/wake Events with
+  pooled callables on the engine's ``call_soon``/``call_later`` fast path.
+* :class:`Fabric` (``REPRO_FABRIC=incremental``) recomputes **incrementally**: only the
   connected component of the link–flow graph actually touched by an
   arrival, departure, or capacity change is re-rated; flows whose
   bottleneck structure is disjoint keep their frozen rates.  Same-timestamp
@@ -79,7 +84,17 @@ class Flow:
     subtractions commute).
     """
 
-    __slots__ = ("fid", "links", "remaining", "rate", "done", "nbytes", "weight", "tag")
+    __slots__ = (
+        "fid",
+        "links",
+        "remaining",
+        "rate",
+        "done",
+        "nbytes",
+        "weight",
+        "tag",
+        "threshold",
+    )
 
     def __init__(
         self,
@@ -98,6 +113,9 @@ class Flow:
         self.done = done
         self.weight = weight
         self.tag = tag
+        # Finish threshold (sub-byte residue counts as done), precomputed:
+        # every wake arm/scan tests it against every active flow.
+        self.threshold = max(1e-6, _EPS * self.nbytes)
 
 
 class Fabric:
@@ -412,7 +430,7 @@ class Fabric:
         """
         soonest = _INF
         for flow in self._flows:
-            if flow.remaining <= self._finish_threshold(flow):
+            if flow.remaining <= flow.threshold:
                 soonest = 0.0
                 break
             if flow.rate > _EPS:
@@ -433,15 +451,20 @@ class Fabric:
 
     @staticmethod
     def _finish_threshold(flow: Flow) -> float:
-        # Sub-byte residue: done for all practical purposes.
-        return max(1e-6, _EPS * flow.nbytes)
+        # Sub-byte residue: done for all practical purposes.  Kept for
+        # callers/tests; the hot loops read the precomputed ``flow.threshold``.
+        return flow.threshold
 
     def _on_wake(self, event: Event) -> None:
         if event is not self._wake:
             return  # superseded by a newer reschedule
         self._wake = None
+        self._wake_body()
+
+    def _wake_body(self) -> None:
+        """Deliver completions at the wake instant (validity already checked)."""
         self._advance()
-        finished = [f for f in self._flows if f.remaining <= self._finish_threshold(f)]
+        finished = [f for f in self._flows if f.remaining <= f.threshold]
         for flow in finished:
             self._flows.pop(flow, None)
             self._done_to_flow.pop(flow.done, None)
@@ -529,12 +552,16 @@ def _by_fid(flow: Flow) -> int:
     return flow.fid
 
 
+# ``repro.net.fabric_array`` registers the default "array" kernel here on
+# import; ``repro/net/__init__.py`` imports it right after this module, so
+# every package-level import route sees all three allocators.  (Registration
+# lives there rather than here to keep the import acyclic.)
 FABRIC_KINDS = {"incremental": Fabric, "naive": NaiveFabric}
 
 
 def default_fabric_kind() -> str:
-    """Allocator selection: ``REPRO_FABRIC`` env var, default incremental."""
-    return os.environ.get("REPRO_FABRIC", "incremental")
+    """Allocator selection: ``REPRO_FABRIC`` env var, default array."""
+    return os.environ.get("REPRO_FABRIC", "array")
 
 
 def create_fabric(

@@ -42,6 +42,7 @@ class RaidTarget(StorageDevice):
         self.max_streams = max_streams if max_streams is not None else cfg.server_max_streams
         self.rng = rng
         self.jitter_sigma = cfg.jitter_sigma
+        self._jitter = None  # cached draw callable (lazy: rng may be swapped)
         self._streams: dict[int, int] = {}  # tail offset -> lru tick
         self._tick = 0
         self.seeks = 0
@@ -61,7 +62,12 @@ class RaidTarget(StorageDevice):
         seek = self.seek_time * (self.sequential_seek_factor if sequential else 1.0)
         base = seek + nbytes / self.stream_bw
         if self.jitter_sigma > 0.0 and self.rng is not None:
-            base *= self.rng.lognormal_factor(f"{self.name}.jitter", self.jitter_sigma)
+            jitter = self._jitter
+            if jitter is None:
+                jitter = self._jitter = self.rng.lognormal_fn(
+                    f"{self.name}.jitter", self.jitter_sigma
+                )
+            base *= jitter()
         return base
 
 
@@ -155,6 +161,15 @@ class DataServer:
         self.bytes_by_tag: dict[str, int] = {}
         self.injector = None  # set by repro.faults when a stall targets us
         self.fast_path = False  # bulk data plane: skip free-worker grant events
+        self._rpc_jitter = None  # cached draw callable (lazy: rng may be swapped)
+
+    def _draw_rpc_jitter(self) -> float:
+        jitter = self._rpc_jitter
+        if jitter is None:
+            jitter = self._rpc_jitter = self.rng.lognormal_fn(
+                f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
+            )
+        return jitter()
 
     def _account(self, tag, nbytes: int, rpc_count: int) -> None:
         if tag is not None:
@@ -178,9 +193,7 @@ class DataServer:
                 yield from self.injector.server_gate(self.server_id)
             overhead = self.cfg.rpc_overhead * max(1, rpc_count)
             if self.rng is not None and self.cfg.jitter_sigma > 0:
-                overhead *= self.rng.lognormal_factor(
-                    f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
-                )
+                overhead *= self._draw_rpc_jitter()
             yield self.sim.timeout(overhead)
             yield from self.cache.absorb(nbytes)
             self.rpcs_served += max(1, rpc_count)
@@ -216,9 +229,7 @@ class DataServer:
     ) -> None:
         overhead = self.cfg.rpc_overhead * max(1, rpc_count)
         if self.rng is not None and self.cfg.jitter_sigma > 0:
-            overhead *= self.rng.lognormal_factor(
-                f"srv{self.server_id}.rpc", self.cfg.jitter_sigma
-            )
+            overhead *= self._draw_rpc_jitter()
         self.sim.call_later(
             overhead, lambda: self._serve_write_absorb(done, nbytes, rpc_count, tag=tag)
         )

@@ -35,23 +35,29 @@ class ADIODriver:
 
     # ---- open (ADIOI_GEN_OpenColl, per rank) -------------------------------------
     def open_cache(self, fd: ADIOFile, rank: int):
-        """Generator: open the cache file for an aggregator (if enabled).
+        """Open the cache file for an aggregator (if enabled).
 
-        'If for any reason the open of the cache file fails, the
+        Returns a generator to drive, or ``None`` when there is nothing to
+        wait on (most ranks, most configurations) — callers skip the empty
+        frame.  'If for any reason the open of the cache file fails, the
         implementation reverts to standard open' — so failures leave the
         rank cache-less rather than erroring.
         """
         if not fd.hints.cache_enabled or not fd.is_aggregator(rank):
             fd.cache_states[rank] = None
-            return
+            return None
         policy = CachePolicy.from_hints(fd.hints)
         try:
             state = CacheState(fd.machine, rank, fd.pfs_file, policy, fd.comm)
         except CacheOpenError as exc:
             fd.cache_states[rank] = None
             fd.open_error = str(exc)
-            return
+            return None
         fd.cache_states[rank] = state
+        return self._open_cache_wait(fd)
+
+    @staticmethod
+    def _open_cache_wait(fd: ADIOFile):
         # Opening the cache file costs one local metadata touch.
         yield fd.machine.sim.timeout(100e-6)
 
@@ -99,18 +105,29 @@ class ADIODriver:
 
     # ---- flush (ADIOI_GEN_Flush) ---------------------------------------------------
     def flush(self, fd: ADIOFile, rank: int):
-        """Generator: complete all outstanding cache synchronisation."""
+        """Complete all outstanding cache synchronisation.
+
+        Returns the cache state's flush generator, or ``None`` when the
+        rank holds no cache state (nothing to wait on)."""
         state = fd.cache_state(rank)
-        if state is not None:
-            yield from state.flush()
+        if state is None:
+            return None
+        return state.flush()
 
     # ---- close (ADIO_Close, per rank local part) -----------------------------------
     def close_rank(self, fd: ADIOFile, rank: int):
-        """Generator: flush + release this rank's cache resources."""
+        """Flush + release this rank's cache resources.
+
+        Returns a generator to drive, or ``None`` for cache-less ranks."""
         state = fd.cache_state(rank)
-        if state is not None:
-            yield from state.close()
-            fd.cache_states[rank] = None
+        if state is None:
+            return None
+        return self._close_rank_gen(fd, rank, state)
+
+    @staticmethod
+    def _close_rank_gen(fd: ADIOFile, rank: int, state):
+        yield from state.close()
+        fd.cache_states[rank] = None
 
 
 class UFSDriver(ADIODriver):

@@ -45,6 +45,10 @@ class CollectiveCallState:
     recv_bytes: Optional[np.ndarray] = None  # [agg, round]
     recv_pieces: Optional[np.ndarray] = None  # [agg, round] offset/length pairs
     merged_cov: Optional[tuple[np.ndarray, np.ndarray]] = None
+    # timed-ladder fast path (ext2ph._rounds_model): member count and the
+    # shared (label, duration, phase) step sequence, computed once per call
+    ladder_width: Optional[int] = None
+    ladder_steps: Optional[list[tuple[str, float, str]]] = None
     min_st: int = 0
     max_end: int = -1
     interleaved: bool = True

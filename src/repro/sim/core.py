@@ -358,11 +358,44 @@ class Process(Event):
             reg.pop(self, None)
 
     def _resume(self, event: Event) -> None:
+        # The send path of _step, inlined (KEEP IN SYNC): one Python call
+        # per resume matters at grid event volumes.
         self._target = None
-        if event._ok:
-            self._step(send=event._value)
-        else:
+        if not event._ok:
             self._step(throw=event._value)
+            return
+        if self._defunct:
+            return
+        sim = self.sim
+        sim.active_process = self
+        try:
+            target = self.gen.send(event._value)
+        except StopIteration as stop:
+            sim.active_process = None
+            self._defunct = True
+            self._unregister()
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim.active_process = None
+            self._defunct = True
+            self._unregister()
+            self.fail(exc)
+            return
+        sim.active_process = None
+        if isinstance(target, Event):
+            if target._fired:
+                kick = sim._kick("rekick")
+                kick.adopt(target._ok, target._value)
+                kick.callbacks.append(self._resume)
+                sim._schedule(kick, 0.0)
+            else:
+                target.callbacks.append(self._resume)
+            self._target = target
+            return
+        self._defunct = True
+        self._unregister()
+        self.fail(SimError(f"process {self.name!r} yielded {target!r}, expected an Event"))
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
         if self._defunct:
@@ -669,7 +702,17 @@ class CalendarQueue:
     re-estimated from the observed inter-event gaps on each resize.
     """
 
-    __slots__ = ("_slots", "_nslots", "_width", "_floor", "_count", "resizes")
+    __slots__ = (
+        "_slots",
+        "_nslots",
+        "_width",
+        "_floor",
+        "_count",
+        "_stamp",
+        "_peek_slot",
+        "_peek_stamp",
+        "resizes",
+    )
 
     def __init__(self, nslots: int = 32, width: float = 1.0):
         self._nslots = nslots
@@ -677,6 +720,14 @@ class CalendarQueue:
         self._slots: list[list[float]] = [[] for _ in range(nslots)]
         self._floor = 0.0  # last popped instant; every entry is >= this
         self._count = 0
+        # peek→pop memo: the run loop's deadline path peeks, checks the
+        # horizon, then immediately pops the same minimum.  ``_stamp``
+        # increments on every mutation; when :meth:`pop` sees the stamp
+        # :meth:`peek` recorded, the located slot is still the minimum and
+        # the second year-scan is skipped.
+        self._stamp = 0
+        self._peek_slot: Optional[list[float]] = None
+        self._peek_stamp = -1
         self.resizes = 0
 
     def __len__(self) -> int:
@@ -685,6 +736,7 @@ class CalendarQueue:
     def push(self, t: float) -> None:
         insort(self._slots[int(t / self._width) % self._nslots], t)
         self._count += 1
+        self._stamp += 1
         if self._count > 2 * self._nslots:
             self._resize(2 * self._nslots)
 
@@ -714,12 +766,18 @@ class CalendarQueue:
 
     def peek(self) -> Optional[float]:
         slot = self._locate()
+        self._peek_slot = slot
+        self._peek_stamp = self._stamp
         return slot[0] if slot is not None else None
 
     def pop(self) -> float:
-        slot = self._locate()
+        if self._peek_stamp == self._stamp:
+            slot = self._peek_slot
+        else:
+            slot = self._locate()
         if slot is None:
             raise IndexError("pop from empty CalendarQueue")
+        self._stamp += 1
         t = slot.pop(0)
         self._floor = t
         self._count -= 1
@@ -731,6 +789,8 @@ class CalendarQueue:
         items = [t for slot in self._slots for t in slot]
         items.sort()
         self.resizes += 1
+        self._stamp += 1
+        self._peek_slot = None  # slot lists are rebuilt below
         width = self._width
         if len(items) > 1:
             gap = (items[-1] - items[0]) / (len(items) - 1)
@@ -782,6 +842,8 @@ class SlottedSimulator(Simulator):
         "_deadline_pool",
         "_event_pool",
         "_call_pool",
+        "_memo_when",
+        "_memo_bucket",
     )
 
     kind = "slotted"
@@ -801,6 +863,15 @@ class SlottedSimulator(Simulator):
         self._deadline_pool: list[Deadline] = []
         self._event_pool: list[Event] = []
         self._call_pool: list[_Call] = []
+        # One-entry interned-timestamp memo: the most recently touched
+        # future bucket.  Shuffle waves and fabric wakes schedule dozens of
+        # events at one exact instant; the memo turns those repeat appends
+        # into a float compare + list append, skipping the dict probe (and
+        # the CalendarQueue push that a bucket miss would re-check).
+        # Invalidated at every bucket-pop site so a drained instant can
+        # never swallow a new append — see step()/run() (KEEP IN SYNC).
+        self._memo_when: float = -1.0
+        self._memo_bucket: Optional[list] = None
 
     # -- pooled construction --------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -811,6 +882,8 @@ class SlottedSimulator(Simulator):
             if self.profiler is not None:
                 self.profiler.count("sim.event_pool_reused")
             return ev
+        if self.profiler is not None:
+            self.profiler.count("sim.event_pool_alloc")
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -823,6 +896,8 @@ class SlottedSimulator(Simulator):
             if self.profiler is not None:
                 self.profiler.count("sim.event_pool_reused")
             return t
+        if self.profiler is not None:
+            self.profiler.count("sim.event_pool_alloc")
         return Timeout(self, delay, value)
 
     def at(self, when: float, value: Any = None) -> Deadline:
@@ -835,11 +910,20 @@ class SlottedSimulator(Simulator):
             if self.profiler is not None:
                 self.profiler.count("sim.event_pool_reused")
             return d
+        if self.profiler is not None:
+            self.profiler.count("sim.event_pool_alloc")
         return Deadline(self, when, value)
 
     def call_soon(self, fn: Callable[[], None]) -> None:
         pool = self._call_pool
-        c = pool.pop() if pool else _Call()
+        if pool:
+            c = pool.pop()
+            if self.profiler is not None:
+                self.profiler.count("sim.call_pool_reused")
+        else:
+            c = _Call()
+            if self.profiler is not None:
+                self.profiler.count("sim.call_pool_alloc")
         c.fn = fn
         self._lane.append(c)
 
@@ -850,15 +934,27 @@ class SlottedSimulator(Simulator):
         if delay < 0.0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
         pool = self._call_pool
-        c = pool.pop() if pool else _Call()
+        if pool:
+            c = pool.pop()
+            if self.profiler is not None:
+                self.profiler.count("sim.call_pool_reused")
+        else:
+            c = _Call()
+            if self.profiler is not None:
+                self.profiler.count("sim.call_pool_alloc")
         c.fn = fn
         when = self.now + delay
+        if when == self._memo_when:
+            self._memo_bucket.append(c)
+            return
         bucket = self._buckets.get(when)
         if bucket is None:
-            self._buckets[when] = [c]
+            self._buckets[when] = bucket = [c]
             self._times.push(when)
         else:
             bucket.append(c)
+        self._memo_when = when
+        self._memo_bucket = bucket
 
     # -- scheduling -----------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
@@ -877,12 +973,17 @@ class SlottedSimulator(Simulator):
                 raise SimError(f"cannot schedule in the past (when={when})")
             self._lane.append(event)
             return
+        if when == self._memo_when:
+            self._memo_bucket.append(event)
+            return
         bucket = self._buckets.get(when)
         if bucket is None:
-            self._buckets[when] = [event]
+            self._buckets[when] = bucket = [event]
             self._times.push(when)
         else:
             bucket.append(event)
+        self._memo_when = when
+        self._memo_bucket = bucket
 
     # -- the loop -------------------------------------------------------------
     def step(self) -> None:
@@ -894,6 +995,9 @@ class SlottedSimulator(Simulator):
                 raise SimError("event list corrupted: time went backwards")
             self.now = when
             lane.extend(self._buckets.pop(when))
+            if when == self._memo_when:
+                self._memo_when = -1.0
+                self._memo_bucket = None
         event = lane.popleft()
         if event.__class__ is _Call:
             fn = event.fn
@@ -971,6 +1075,9 @@ class SlottedSimulator(Simulator):
                         raise SimError("event list corrupted: time went backwards")
                     self.now = when
                     lane.extend(buckets.pop(when))
+                    if when == self._memo_when:
+                        self._memo_when = -1.0
+                        self._memo_bucket = None
                 event = lane.popleft()
                 if event.__class__ is _Call:
                     fn = event.fn
@@ -1028,6 +1135,9 @@ class SlottedSimulator(Simulator):
                 times.pop()
                 self.now = nxt
                 lane.extend(buckets.pop(nxt))
+                if nxt == self._memo_when:
+                    self._memo_when = -1.0
+                    self._memo_bucket = None
             elif self.now > deadline:
                 break
             event = lane.popleft()

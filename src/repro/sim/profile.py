@@ -55,6 +55,14 @@ class SimProfiler:
             self.timings[key] = self.timings.get(key, 0.0) + dt
             self.timer_calls[key] = self.timer_calls.get(key, 0) + 1
 
+    def lap(self, key: str, t0: float) -> None:
+        """Record one timed span ending now — the manual alternative to
+        :meth:`timer` for hot sites that cannot afford a context manager
+        (``t0`` from ``time.perf_counter()``)."""
+        dt = time.perf_counter() - t0
+        self.timings[key] = self.timings.get(key, 0.0) + dt
+        self.timer_calls[key] = self.timer_calls.get(key, 0) + 1
+
     def heap_sample(self, depth: int) -> None:
         if depth > self.heap_peak:
             self.heap_peak = depth

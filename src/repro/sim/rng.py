@@ -45,3 +45,18 @@ class RngStreams:
         # the mean is 1 and jitter never biases average throughput.
         mu = -0.5 * sigma * sigma
         return float(self.stream(name).lognormal(mu, sigma))
+
+    def lognormal_fn(self, name: str, sigma: float):
+        """Zero-arg callable form of :meth:`lognormal_factor`.
+
+        The stream lookup and ``mu`` are resolved once; each call then draws
+        from the same generator object the per-call form would use, so the
+        sequence is identical.  Hot per-I/O jitter sites cache the callable
+        instead of rebuilding the stream name and re-deriving ``mu`` on
+        every service-time computation.
+        """
+        if sigma <= 0.0:
+            return lambda: 1.0
+        mu = -0.5 * sigma * sigma
+        lognormal = self.stream(name).lognormal
+        return lambda: float(lognormal(mu, sigma))

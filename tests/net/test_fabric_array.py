@@ -1,0 +1,218 @@
+"""Differential tests for the array fair-share kernel (``REPRO_FABRIC=array``).
+
+:class:`~repro.net.fabric_array.ArrayFabric` must be *byte-identical* to
+both the incremental allocator and the naive full-recompute reference:
+same rates, same completion timestamps, same wake schedule, under
+arrivals, departures, bundle growth, mid-transfer capacity changes, and
+500-step randomized churn.  The converged-rate memoization must be a pure
+lookup — hits may never change a single float.
+"""
+
+import random
+
+import pytest
+
+from repro.net.fabric import Fabric, NaiveFabric
+from repro.net.fabric_array import ArrayFabric
+from repro.sim.core import SlottedSimulator, Simulator
+
+from tests.net.test_fabric_incremental import BW, LAT, NODES, churn
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_randomized_differential_three_way(seed):
+    """500-step churn: array vs incremental vs naive, bit-for-bit."""
+    arr_done, arr_rates, arr_end = churn(ArrayFabric, seed)
+    inc_done, inc_rates, inc_end = churn(Fabric, seed)
+    ref_done, ref_rates, ref_end = churn(NaiveFabric, seed)
+    # Completion timestamps must match exactly (byte-identical clock).
+    assert arr_end == inc_end == ref_end
+    assert arr_done == inc_done == ref_done
+    # Sampled rate maps: array vs incremental are *exactly* equal (same
+    # component, same op order); vs naive only approx (different component
+    # decomposition accumulates different-but-negligible float drift).
+    assert len(arr_rates) == len(inc_rates) == len(ref_rates)
+    for got, want in zip(arr_rates, inc_rates):
+        assert got == want
+    for got, want in zip(arr_rates, ref_rates):
+        assert got.keys() == want.keys()
+        for fid in want:
+            assert got[fid] == pytest.approx(want[fid], rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", [7, 8])
+def test_wake_schedule_identical_to_incremental(seed):
+    """Same churn ⇒ same number of armed wakes and recompute structure."""
+    results = {}
+    for cls in (ArrayFabric, Fabric):
+        rng = random.Random(seed)
+        sim = Simulator()
+        fabric = cls(sim, num_nodes=NODES, nic_bw=BW, latency=LAT)
+        for _ in range(200):
+            op = rng.random()
+            if op < 0.6:
+                fabric.start_flow(rng.randrange(NODES), rng.randrange(NODES), 5000)
+            elif op < 0.7:
+                fabric.set_node_bw_factor(rng.randrange(NODES), rng.uniform(0.3, 1.4))
+            else:
+                sim.run(until=sim.now + rng.uniform(0.0, 2.0))
+        sim.run()
+        results[cls.kind] = (
+            sim.now,
+            fabric.wake_events,
+            fabric.recomputes,
+            fabric.recompute_flows,
+            fabric.recomputes_skipped,
+            fabric.batched_starts,
+        )
+    assert results["array"] == results["incremental"]
+
+
+def _drive_pair(scenario, ref_cls=Fabric, sim_cls=Simulator):
+    out = []
+    for cls in (ArrayFabric, ref_cls):
+        sim = sim_cls()
+        fabric = cls(sim, num_nodes=6, nic_bw=BW, latency=LAT)
+        out.append(scenario(sim, fabric))
+    return out
+
+
+def test_grow_flow_bundles_identical():
+    """Weighted bundles (grow_flow) share and finish identically."""
+
+    def scenario(sim, fabric):
+        times = {}
+        ev = fabric.start_flow(0, 1, 1000)
+        for _ in range(3):
+            assert fabric.grow_flow(ev, 1000)
+        assert not fabric.grow_flow(ev, 999)  # different member size
+        other = fabric.start_flow(0, 2, 1000)
+        for i, e in enumerate((ev, other)):
+            e.callbacks.append(lambda _e, i=i: times.__setitem__(i, sim.now))
+        sim.run()
+        assert fabric.active_flows == 0
+        assert not fabric.grow_flow(ev, 1000)  # inactive flow
+        return times
+
+    arr, inc = _drive_pair(scenario)
+    assert arr == inc
+
+
+def test_zero_byte_flows_complete_after_latency():
+    def scenario(sim, fabric):
+        times = {}
+        ev = fabric.start_flow(0, 1, 0)
+        ev.callbacks.append(lambda _e: times.__setitem__("zero", sim.now))
+        sim.run()
+        return times
+
+    arr, inc = _drive_pair(scenario)
+    assert arr == inc == {"zero": LAT}
+
+
+def test_mid_flight_bw_factor_identical():
+    def scenario(sim, fabric):
+        times = {}
+        for i in range(4):
+            ev = fabric.start_flow(0, 1 + i % 2, 10_000)
+            ev.callbacks.append(lambda _e, i=i: times.__setitem__(i, sim.now))
+        sim.run(until=2.0)
+        fabric.set_node_bw_factor(0, 0.25)
+        sim.run(until=6.0)
+        fabric.set_node_bw_factor(0, 1.25)
+        sim.run()
+        return times
+
+    arr, inc = _drive_pair(scenario)
+    assert arr == inc
+    arr_naive, ref = _drive_pair(scenario, ref_cls=NaiveFabric)
+    assert arr_naive == ref
+
+
+def test_array_on_slotted_engine_matches_heapq():
+    """The pooled-callable flush/wake path is engine-independent."""
+
+    def scenario(sim, fabric):
+        times = {}
+        for i in range(8):
+            ev = fabric.start_flow(i % 3, (i + 1) % 3, 2500 * (1 + i % 2))
+            ev.callbacks.append(lambda _e, i=i: times.__setitem__(i, sim.now))
+        sim.run(until=1.0)
+        fabric.set_node_bw_factor(1, 0.5)
+        sim.run()
+        return times
+
+    slotted = _drive_pair(scenario, sim_cls=SlottedSimulator)
+    heapq_ = _drive_pair(scenario, sim_cls=Simulator)
+    assert slotted[0] == slotted[1]  # array == incremental on slotted
+    assert slotted[0] == heapq_[0]  # array: slotted == heapq
+
+
+def test_rate_cache_hits_on_repeated_shapes():
+    """Repeated same-shape waves become cache hits; rates stay identical."""
+    sim = Simulator()
+    fabric = ArrayFabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    reference = None
+    for _wave in range(5):
+        for i in range(6):
+            fabric.start_flow(0, 1 + i % 3, 750)
+        rates = sorted(fabric.flow_rates().values())
+        if reference is None:
+            reference = rates
+        else:
+            assert rates == reference
+        sim.run()
+        assert fabric.active_flows == 0
+    assert fabric.rate_cache_hits > 0
+    assert fabric.rate_cache_misses >= 1
+    # Every fill either hit or missed.
+    assert fabric.rate_cache_hits + fabric.rate_cache_misses > 5
+
+
+def test_rate_cache_distinguishes_capacity_changes():
+    """A capacity change must change the signature, never reuse stale rates."""
+    sim = Simulator()
+    fabric = ArrayFabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    fabric.start_flow(0, 1, 1000)
+    fabric.start_flow(0, 1, 1000)
+    first = fabric.flow_rates()
+    assert set(first.values()) == {BW / 2}
+    sim.run()
+    fabric.set_node_bw_factor(0, 0.5)
+    fabric.start_flow(0, 1, 1000)
+    fabric.start_flow(0, 1, 1000)
+    second = fabric.flow_rates()
+    assert set(second.values()) == {BW / 4}
+    sim.run()
+
+
+def test_rate_cache_bounded():
+    from repro.net import fabric_array
+
+    sim = Simulator()
+    fabric = ArrayFabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for i in range(200):
+        # A new capacity each wave forces a new signature.  Two flows per
+        # wave: single-flow components bypass the signature cache entirely.
+        fabric.set_node_bw_factor(0, 1.0 + (i + 1) / 1000.0)
+        fabric.start_flow(0, 1, 100)
+        fabric.start_flow(0, 1, 100)
+        fabric.flow_rates()
+        sim.run()
+    assert len(fabric._rate_cache) <= fabric_array._RATE_CACHE_MAX
+    assert fabric.rate_cache_misses >= 200
+
+
+def test_single_flow_fast_path_bypasses_cache():
+    """One-flow components solve in closed form without touching the cache."""
+    sim = Simulator()
+    fabric = ArrayFabric(sim, num_nodes=4, nic_bw=BW, latency=LAT)
+    for i in range(10):
+        fabric.start_flow(0, 1 + i % 3, 500)
+        rates = list(fabric.flow_rates().values())
+        assert rates == [BW]
+        sim.run()
+        assert fabric.active_flows == 0
+    assert fabric.rate_cache_hits == 0
+    assert fabric.rate_cache_misses == 0
+    assert len(fabric._rate_cache) == 0

@@ -12,6 +12,7 @@ import random
 import pytest
 
 from repro.net.fabric import FABRIC_KINDS, Fabric, NaiveFabric, create_fabric
+from repro.net.fabric_array import ArrayFabric
 from repro.sim.core import SimError, Simulator
 
 BW = 1000.0
@@ -225,10 +226,10 @@ def test_create_fabric_kind_selection(monkeypatch):
     monkeypatch.setenv("REPRO_FABRIC", "naive")
     assert type(create_fabric(sim, 2, BW, LAT)) is NaiveFabric
     monkeypatch.delenv("REPRO_FABRIC")
-    assert type(create_fabric(sim, 2, BW, LAT)) is Fabric
+    assert type(create_fabric(sim, 2, BW, LAT)) is ArrayFabric
     with pytest.raises(SimError):
         create_fabric(sim, 2, BW, LAT, kind="bogus")
-    assert set(FABRIC_KINDS) == {"incremental", "naive"}
+    assert set(FABRIC_KINDS) == {"array", "incremental", "naive"}
 
 
 def test_flow_rates_flushes_pending_batch():

@@ -1,0 +1,128 @@
+"""Best-effort mypyc build of the array fair-share kernel.
+
+The hot :mod:`repro.net.fabric_array` module is plain Python with
+``__slots__`` classes and flat-list loops — exactly the shape mypyc
+compiles well.  This script compiles it in place when a compiler is
+available and **skips gracefully** when one is not: the pure-Python module
+is always a complete, tested implementation, and nothing in the test suite
+or the benchmarks requires the compiled extension.
+
+Usage::
+
+    PYTHONPATH=src python tools/build_kernel.py          # build if possible
+    PYTHONPATH=src python tools/build_kernel.py --check  # report, never build
+    PYTHONPATH=src python tools/build_kernel.py --clean  # remove built artifacts
+
+Exit status is 0 both on a successful build and on a graceful skip
+(missing mypyc/mypy, missing C toolchain, or a compile error — the
+pure-Python fallback keeps working either way); ``--check`` prints which
+of those cases applies.  CI runs ``--check`` as a smoke step so the script
+itself cannot rot, without making the build a hard dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+
+KERNEL_MODULE = "repro.net.fabric_array"
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+KERNEL_PATH = os.path.join(SRC_ROOT, *KERNEL_MODULE.split(".")) + ".py"
+# Compiled artifacts land next to the source module (in-place build).
+ARTIFACT_GLOB = os.path.join(SRC_ROOT, *KERNEL_MODULE.split(".")) + ".*.so"
+
+
+def mypyc_available() -> bool:
+    """Is the mypyc compiler importable at all?"""
+    return importlib.util.find_spec("mypyc") is not None
+
+
+def compiler_available() -> bool:
+    """Is there a C compiler for the generated code?"""
+    return any(shutil.which(cc) for cc in ("cc", "gcc", "clang"))
+
+
+def built_artifacts() -> list[str]:
+    return sorted(glob.glob(ARTIFACT_GLOB))
+
+
+def clean() -> int:
+    removed = built_artifacts()
+    for path in removed:
+        os.unlink(path)
+    build_dir = os.path.join(os.getcwd(), "build")
+    print(f"removed {len(removed)} artifact(s)")
+    if os.path.isdir(build_dir):
+        print(f"note: mypyc scratch dir {build_dir!r} left in place")
+    return 0
+
+
+def check() -> int:
+    """Report build feasibility and current state; never builds."""
+    print(f"kernel module : {KERNEL_MODULE}")
+    print(f"source        : {KERNEL_PATH}")
+    print(f"mypyc present : {mypyc_available()}")
+    print(f"C compiler    : {compiler_available()}")
+    arts = built_artifacts()
+    print(f"built         : {arts if arts else 'no (pure-Python fallback active)'}")
+    if not mypyc_available():
+        print("check: SKIP — mypyc is not installed; pure-Python kernel is used")
+    elif not compiler_available():
+        print("check: SKIP — no C compiler; pure-Python kernel is used")
+    else:
+        print("check: a build should succeed (run without --check)")
+    return 0
+
+
+def build() -> int:
+    if not os.path.exists(KERNEL_PATH):
+        print(f"error: kernel source missing at {KERNEL_PATH}", file=sys.stderr)
+        return 1
+    if not mypyc_available():
+        print("skip: mypyc is not installed — the pure-Python kernel stays active")
+        return 0
+    if not compiler_available():
+        print("skip: no C compiler found — the pure-Python kernel stays active")
+        return 0
+    # Run mypyc out of process: it exits non-zero on type errors or compile
+    # failures, and either way must not take this script (or CI) down with it.
+    cmd = [sys.executable, "-m", "mypyc", "--ignore-missing-imports", KERNEL_PATH]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, cwd=SRC_ROOT)
+    if proc.returncode != 0:
+        print(
+            "skip: mypyc build failed — the pure-Python kernel stays active "
+            "(the compiled extension is an optional accelerator, never required)"
+        )
+        return 0
+    arts = built_artifacts()
+    print(f"built: {arts}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/build_kernel.py", description=__doc__.splitlines()[0]
+    )
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--check", action="store_true", help="report feasibility/state, never build"
+    )
+    action.add_argument(
+        "--clean", action="store_true", help="remove built kernel artifacts"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check()
+    if args.clean:
+        return clean()
+    return build()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Usage::
     PYTHONPATH=src python tools/profile_sweep.py --benchmark ior \\
         --aggregators 8 --cb-mib 4 --cache-mode disabled --scale 0.01
     PYTHONPATH=src python tools/profile_sweep.py --cprofile 25
+    PYTHONPATH=src python tools/profile_sweep.py --top 10
     PYTHONPATH=src python tools/profile_sweep.py --trace point.trace.json
     PYTHONPATH=src python tools/profile_sweep.py --fabric naive --json prof.json
 
@@ -85,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="also run under cProfile and print the top N rows by tottime",
     )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N hottest profiler timers (cumulative wall seconds, "
+        "calls, avg) and the N largest counters — the engine's own Amdahl "
+        "table, no cProfile overhead",
+    )
     p.add_argument("--trace", default=None, metavar="PATH", help="write a Chrome trace")
     p.add_argument(
         "--json", default=None, metavar="PATH", help="write the summary JSON"
@@ -98,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(fault/recovery events land in the --trace timeline)",
     )
     return p
+
+
+def print_top(snapshot: dict, n: int) -> None:
+    """The ``--top N`` table: hottest profiler timers, then largest counters.
+
+    Timers are cumulative wall-clock seconds inside instrumented components
+    (``fabric.recompute``, ``fabric.fill_solve``, ...) collected by the run's
+    own :class:`~repro.sim.profile.SimProfiler` — unlike ``--cprofile`` this
+    costs two clock reads per instrumented span, so the run it describes is
+    the run you measured.
+    """
+    timings = snapshot.get("timings_s", {})
+    calls = snapshot.get("timer_calls", {})
+    rows = sorted(timings.items(), key=lambda kv: kv[1], reverse=True)[:n]
+    print(f"top {min(n, len(rows)) or n} timers by cumulative wall seconds:")
+    if not rows:
+        print("  (no instrumented timers fired in this run)")
+    else:
+        print(f"  {'timer':<32} {'wall_s':>10} {'calls':>10} {'avg_us':>10}")
+        for key, secs in rows:
+            c = calls.get(key, 0)
+            avg = secs / c * 1e6 if c else 0.0
+            print(f"  {key:<32} {secs:>10.4f} {c:>10d} {avg:>10.1f}")
+    counters = snapshot.get("counters", {})
+    crows = sorted(counters.items(), key=lambda kv: kv[1], reverse=True)[:n]
+    print(f"top {min(n, len(crows)) or n} counters:")
+    if not crows:
+        print("  (no counters bumped in this run)")
+    for key, value in crows:
+        print(f"  {key:<32} {value:>14,d}")
 
 
 def run_chaos_point(args: argparse.Namespace) -> int:
@@ -152,6 +192,8 @@ def run_chaos_point(args: argparse.Namespace) -> int:
         "profiler": profiler.snapshot(),
     }
     print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.top:
+        print_top(summary["profiler"], args.top)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True)
@@ -217,6 +259,8 @@ def main(argv=None) -> int:
         "profiler": profiler.snapshot(),
     }
     print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.top:
+        print_top(summary["profiler"], args.top)
 
     if args.json:
         with open(args.json, "w") as fh:
