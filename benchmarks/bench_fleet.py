@@ -16,6 +16,13 @@ Two concerns, one report (``BENCH_fleet.json``):
   --fleet``; the 1024-job point additionally gates under a generous wall
   ceiling (the thousands-of-jobs evidence the array fair-share kernel
   exists to unblock).
+* **Crash-recovery trial** — a seeded 8-job fleet chaos run with
+  ``crash_probability=1.0`` under every engine × dataplane combination:
+  the crashed job must restart, replay its journals, and finish with zero
+  lost bytes; the four timelines must be byte-identical; and the
+  recovery-SLO aggregates (time-to-restart, replay duration, degraded
+  window) are recorded for ``check_bench.py --slo`` to gate against the
+  budgets in ``benchmarks/baseline_quick.json``.
 
 Usage::
 
@@ -35,6 +42,7 @@ import sys
 import time
 
 from repro.fleet import FleetSpec, run_fleet
+from repro.fleet.chaos import run_fleet_chaos
 
 # Reference numbers from the box that recorded benchmarks/baseline_quick.json
 # (events are exact and engine/dataplane-dependent; throughputs are context).
@@ -115,6 +123,87 @@ def fleet_grid_ab(failures: list[str]) -> dict:
     return section
 
 
+CRASH_FLEET_SIZE = 8
+CRASH_SEED = 1  # draws one aggregator_crash addressing job j0 (restartable)
+
+
+def fleet_crash(failures: list[str]) -> dict:
+    """The crash-recovery trial: seeded crash + restart under every combo.
+
+    The section carries the recovery-SLO aggregates ``check_bench --slo``
+    gates: a run where the restart never happens, the replay grinds, or a
+    cached byte is lost fails here (or at the gate) rather than silently
+    shipping a broken recovery path.
+    """
+    section: dict = {}
+    identities: dict[str, dict] = {}
+    for engine in ENGINES:
+        for dataplane in DATAPLANES:
+            kind = f"{engine}_{dataplane}"
+            os.environ["REPRO_ENGINE"] = engine
+            try:
+                t0 = time.perf_counter()
+                trial = run_fleet_chaos(
+                    fleet_size=CRASH_FLEET_SIZE,
+                    seed=CRASH_SEED,
+                    scale=BENCH_SCALE,
+                    crash_probability=1.0,
+                    dataplane=dataplane,
+                )
+                wall = time.perf_counter() - t0
+            finally:
+                os.environ.pop("REPRO_ENGINE", None)
+            identities[kind] = trial.fleet.identity()
+            summary = trial.fleet.summary
+            section[kind] = {
+                "wall_s": wall,
+                "events_fired": trial.fleet.events,
+                "crashed_jobs": trial.crashed_jobs,
+                "restarts": trial.restarts,
+                "violations": list(trial.violations),
+                "statuses": trial.statuses,
+                "time_to_restart_max": summary["time_to_restart_max"],
+                "replay_duration_total": summary["replay_duration_total"],
+                "degraded_window_max": max(
+                    (j.degraded_window for j in trial.fleet.jobs), default=0.0
+                ),
+                "bytes_replayed": sum(j.bytes_replayed for j in trial.fleet.jobs),
+                "bytes_lost_cached": sum(
+                    j.bytes_lost
+                    for j in trial.fleet.jobs
+                    if j.status == "ok" and j.cache_mode == "enabled"
+                ),
+                "slo_violations": summary["slo_violations"],
+            }
+            print(
+                f"  fleet_crash   {kind:16s} events={trial.fleet.events:>7d} "
+                f"crashed={trial.crashed_jobs} restarts={trial.restarts} "
+                f"replayed={section[kind]['bytes_replayed']} "
+                f"wall={wall:.2f}s"
+            )
+            for violation in trial.violations:
+                failures.append(f"fleet_crash.{kind}: {violation}")
+            if not trial.crashed_jobs:
+                failures.append(
+                    f"fleet_crash.{kind}: the seeded schedule injected no crash"
+                )
+            if not trial.restarts:
+                failures.append(
+                    f"fleet_crash.{kind}: the crashed job never restarted"
+                )
+    reference = json.dumps(identities["slotted_bulk"], sort_keys=True)
+    mismatches = [
+        kind
+        for kind, identity in identities.items()
+        if json.dumps(identity, sort_keys=True) != reference
+    ]
+    for kind in mismatches:
+        failures.append(f"fleet_crash.{kind}: identity diverges from slotted_bulk")
+    section["byte_identical"] = not mismatches
+    section["mismatches"] = mismatches
+    return section
+
+
 def fleet_scaling(sizes, grid_ab: dict, failures: list[str]) -> dict:
     """Throughput vs fleet size on the default (slotted + bulk) combo."""
     section: dict = {}
@@ -162,6 +251,7 @@ def main(argv=None) -> int:
         "recorded_baselines": RECORDED_BASELINES,
     }
     report["fleet_grid_ab"] = fleet_grid_ab(failures)
+    report["fleet_crash"] = fleet_crash(failures)
     report["fleet_scaling"] = fleet_scaling(
         FULL_SIZES if full else QUICK_SIZES, report["fleet_grid_ab"], failures
     )

@@ -168,6 +168,70 @@ def check_device_tier(baseline: dict, reports: dict, failures: list[str]) -> Non
         failures.append("device_tier: REPRO_SSD=stream identity broken")
 
 
+def check_recovery_slos(baseline: dict, reports: dict, failures: list[str]) -> None:
+    """Gate the bench_fleet crash trial against committed recovery budgets.
+
+    The ``recovery_slos`` baseline section pins measured budgets for the
+    seeded crash trial: a crashed job must restart and replay within them,
+    and cached writes that finished cleanly must lose nothing.  Unlike the
+    throughput floors these are *simulated* quantities — deterministic, so
+    the budgets are tight and any breach is a semantic regression in the
+    crash-routing/restart/replay path, not runner weather.
+    """
+    budgets = baseline.get("recovery_slos")
+    report = reports.get("fleet")
+    if budgets is None or report is None:
+        return
+    crash = report.get("fleet_crash")
+    if crash is None:
+        failures.append(
+            "recovery_slos: fleet_crash section missing from the fleet report "
+            "(bench_fleet.py predates the crash trial?)"
+        )
+        return
+    if not crash.get("byte_identical", False):
+        failures.append(
+            "fleet_crash: engine x dataplane identities diverge "
+            f"({', '.join(crash.get('mismatches', ['?']))})"
+        )
+    for kind, point in sorted(crash.items()):
+        if not isinstance(point, dict):
+            continue
+        where = f"fleet_crash.{kind}"
+        for violation in point.get("violations", []):
+            failures.append(f"{where}: {violation}")
+        if not point.get("crashed_jobs"):
+            failures.append(f"{where}: the seeded schedule injected no crash")
+        if not point.get("restarts"):
+            failures.append(f"{where}: the crashed job never restarted")
+        if point.get("bytes_replayed", 0) <= 0:
+            failures.append(f"{where}: restart replayed no journal bytes")
+        if point.get("slo_violations"):
+            failures.append(
+                f"{where}: {point['slo_violations']} per-job SLO violation(s) "
+                f"under the default budgets"
+            )
+        lost = point.get("bytes_lost_cached", 0)
+        lost_max = budgets.get("bytes_lost_cached_max", 0)
+        if lost > lost_max:
+            failures.append(
+                f"{where}: bytes_lost_cached {lost} > budget {lost_max}"
+            )
+        for metric, budget_key in (
+            ("time_to_restart_max", "time_to_restart_max"),
+            ("replay_duration_total", "replay_duration_max"),
+            ("degraded_window_max", "degraded_window_max"),
+        ):
+            budget = budgets.get(budget_key)
+            if budget is None:
+                continue
+            got = point.get(metric)
+            if got is None or got > budget:
+                failures.append(
+                    f"{where}: {metric} {got} > budget {budget} ({budget_key})"
+                )
+
+
 def check_ok_flags(reports: dict, failures: list[str]) -> None:
     for which, report in reports.items():
         if not report.get("ok", False):
@@ -194,6 +258,12 @@ def main(argv=None) -> int:
         help="check only the fleet report (skip engine/dataplane reports)",
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="gate only the fleet report's crash-trial recovery SLOs "
+        "against the baseline's recovery_slos budgets",
+    )
+    parser.add_argument(
         "--devices",
         default=None,
         help="also gate a bench_devices report (e.g. BENCH_devices.json)",
@@ -209,12 +279,12 @@ def main(argv=None) -> int:
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     reports = {}
-    if not (args.fleet_only or args.devices_only):
+    if not (args.fleet_only or args.devices_only or args.slo):
         with open(args.engine) as fh:
             reports["engine"] = json.load(fh)
         with open(args.dataplane) as fh:
             reports["dataplane"] = json.load(fh)
-    if args.fleet or args.fleet_only:
+    if args.fleet or args.fleet_only or args.slo:
         with open(args.fleet or "BENCH_fleet.json") as fh:
             reports["fleet"] = json.load(fh)
     if args.devices or args.devices_only:
@@ -231,11 +301,18 @@ def main(argv=None) -> int:
             )
 
     failures: list[str] = []
-    check_ok_flags(reports, failures)
-    check_events_exact(baseline, reports, failures)
-    check_throughput_floors(baseline, reports, failures)
-    check_fleet_scaling(baseline, reports, failures)
-    check_device_tier(baseline, reports, failures)
+    if args.slo:
+        # The dedicated SLO gate: only the crash-trial budgets.  The full
+        # pass below also runs check_recovery_slos whenever a fleet report
+        # and the recovery_slos baseline section are both present.
+        check_recovery_slos(baseline, reports, failures)
+    else:
+        check_ok_flags(reports, failures)
+        check_events_exact(baseline, reports, failures)
+        check_throughput_floors(baseline, reports, failures)
+        check_fleet_scaling(baseline, reports, failures)
+        check_device_tier(baseline, reports, failures)
+        check_recovery_slos(baseline, reports, failures)
 
     if failures:
         for failure in failures:

@@ -93,7 +93,9 @@ class SyncThread:
         body = self._run_flat() if self._flat else self._run()
         self._proc = self.sim.process(body, name=f"syncthread.r{rank}")
         if inj is not None:
-            inj.register_daemon(self._proc)
+            inj.register_daemon(
+                self._proc, job_tag=getattr(machine, "job_label", None)
+            )
         # Fleet job teardown: a JobView collects its daemons so an aborted
         # job's parked sync threads can be interrupted when its nodes are
         # released (a plain Machine has no such list).

@@ -70,6 +70,10 @@ class ChaosConfig:
     torn_write_probability: float = 0.75
     gc_pressure_probability: float = 0.6
     max_gc_factor: float = 4.0
+    # Fleet scope: > 0 makes crash draws job-addressed (a ``job_index``
+    # uniform over the fleet's arrival order).  0 keeps the legacy untagged
+    # single-job semantics and the legacy draw sequence.
+    num_jobs: int = 0
 
 
 def generate_schedule(cfg: ChaosConfig, seed: int) -> FaultSchedule:
@@ -141,21 +145,36 @@ def generate_schedule(cfg: ChaosConfig, seed: int) -> FaultSchedule:
         )
     if rng.random() < cfg.crash_probability:
         last = max(0, cfg.num_files - 1)
+        # Draw order matters: the job draw comes *after* the legacy
+        # target/delay draws and only when num_jobs opts in, so every
+        # existing single-job (cfg, seed) → schedule mapping is unchanged.
+        target = rng.randrange(max(1, cfg.num_ranks))
+        delay = rng.uniform(5e-4, 6e-3)
+        job_index = rng.randrange(cfg.num_jobs) if cfg.num_jobs > 0 else -1
         faults.append(
             FaultSpec(
                 "aggregator_crash",
-                target=rng.randrange(max(1, cfg.num_ranks)),
+                target=target,
                 on_event=f"write_done:{last}",
-                delay=rng.uniform(5e-4, 6e-3),
+                delay=delay,
+                job_index=job_index,
             )
         )
         if rng.random() < cfg.cascade_probability:
+            # The cascade reuses the first crash's job_index: only a crashed
+            # job ever replays, so addressing any other job would arm a
+            # trigger that can never fire.  Killing the *restarted*
+            # incarnation mid-replay is the point — it spends a second
+            # retry from the restart budget at the nastiest moment.
+            target = rng.randrange(max(1, cfg.num_ranks))
+            delay = rng.uniform(2e-4, 1.5e-3)
             faults.append(
                 FaultSpec(
                     "aggregator_crash",
-                    target=rng.randrange(max(1, cfg.num_ranks)),
+                    target=target,
                     on_event="recovery_replay",
-                    delay=rng.uniform(2e-4, 1.5e-3),
+                    delay=delay,
+                    job_index=job_index,
                 )
             )
     timeout = 0.0
@@ -167,4 +186,6 @@ def generate_schedule(cfg: ChaosConfig, seed: int) -> FaultSchedule:
         num_nodes=cfg.num_nodes,
         num_servers=cfg.num_servers,
         num_ranks=cfg.num_ranks,
+        num_files=cfg.num_files,
+        num_jobs=cfg.num_jobs or None,
     )

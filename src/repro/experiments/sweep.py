@@ -151,8 +151,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fleet-chaos",
         action="store_true",
-        help="run seeded infra-fault schedules against a small fleet with "
-        "the invariant monitor and per-job byte-conservation audits on",
+        help="run seeded fault schedules (infra faults + job-addressed "
+        "crashes) against a small fleet with the invariant monitor, per-job "
+        "byte-conservation audits, and recovery-SLO assertions on",
+    )
+    p.add_argument(
+        "--crash-probability",
+        type=float,
+        default=0.35,
+        help="per-schedule probability of a job-addressed aggregator crash "
+        "(with --fleet-chaos; default: 0.35)",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="restart budget for crashed fleet jobs before they are marked "
+        "failed (with --fleet-chaos; default: 2)",
     )
     p.add_argument(
         "--chaos",
@@ -346,17 +361,44 @@ def run_fleet_sweep(args: argparse.Namespace, runner: SweepRunner) -> int:
 def run_fleet_chaos_sweep(args: argparse.Namespace) -> int:
     scale = args.scale if args.scale is not None else default_scale()
     status = 0
+    if args.no_cache:
+        row_cache = ResultCache.disabled(result_cls=fleetmod.FleetJobResult)
+    elif args.cache_dir:
+        row_cache = ResultCache(root=args.cache_dir, result_cls=fleetmod.FleetJobResult)
+    else:
+        row_cache = fleetmod.default_row_cache()
     for seed in range(args.base_seed, args.base_seed + args.seeds):
-        r = fleetmod.run_fleet_chaos(fleet_size=8, seed=seed, scale=scale)
+        r = fleetmod.run_fleet_chaos(
+            fleet_size=8,
+            seed=seed,
+            scale=scale,
+            crash_probability=args.crash_probability,
+            max_restarts=args.max_restarts,
+            row_cache=row_cache,
+        )
+        slo_violations = r.fleet.summary["slo_violations"]
         line = (
             f"fleet-chaos seed {seed}: faults={r.faults_injected} "
-            f"jobs={r.statuses} {'OK' if r.ok else 'FAIL'}"
+            f"jobs={r.statuses} crashed={r.crashed_jobs} "
+            f"restarts={r.restarts} slo_violations={slo_violations} "
+            f"{'OK' if r.ok else 'FAIL'}"
         )
         print(line, file=sys.stderr, flush=True)
         if not r.ok:
             status = 1
             for v in r.violations[:10]:
                 print(f"  {v}", file=sys.stderr)
+            # A fleet-chaos schedule is fully determined by (config, seed):
+            # the seed + CLI flags are the repro artifact (generate.py
+            # guarantees the draw is platform-stable).
+            print(
+                f"  repro: PYTHONPATH=src python -m repro.experiments.sweep "
+                f"--fleet-chaos --base-seed {seed} --seeds 1 "
+                f"--scale {scale} "
+                f"--crash-probability {args.crash_probability} "
+                f"--max-restarts {args.max_restarts}",
+                file=sys.stderr,
+            )
     return status
 
 

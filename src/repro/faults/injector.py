@@ -20,11 +20,16 @@ calls a narrow hook, so a machine without faults pays one ``is None`` test):
   stall window is open (holding the worker: head-of-line blocking).
 * ``link_degrade`` — scales one fabric endpoint's NIC capacity via
   :meth:`~repro.net.fabric.Fabric.set_node_bw_factor` for the window.
-* ``aggregator_crash`` — interrupts every registered rank process (and the
-  sync-thread daemons) with :class:`~repro.faults.errors.JobAborted`: the
-  simulated ``mpirun`` teardown.  Node-local state — page cache, cache
-  files, the recovery journals — survives, because the paper's recovery
-  argument is precisely that a *process* crash does not lose SSD contents.
+* ``aggregator_crash`` — interrupts one registered *job scope*'s rank
+  processes (and its sync-thread daemons) with
+  :class:`~repro.faults.errors.JobAborted`: the simulated ``mpirun``
+  teardown.  Registration is job-scoped (:meth:`register_ranks` with a
+  ``job_tag``): a fleet registers each job under its label and the spec's
+  ``job``/``job_index`` addressing routes the crash to exactly that job —
+  other jobs on the shared machine are untouched except via contention.
+  Node-local state — page cache, cache files, the recovery journals —
+  survives, because the paper's recovery argument is precisely that a
+  *process* crash does not lose SSD contents.
 * :meth:`on_device_write` — ``ssd_gc_pressure``: writes on the node's
   flash are stretched by ``factor`` while the window is open (foreground
   GC competing for the dies); a pure slowdown, never an error.
@@ -55,6 +60,21 @@ class _FaultState:
         self.active_at = active_at  # None until (event-)triggered
 
 
+class _JobEntry:
+    """One job's crash-interrupt scope: its rank processes, its background
+    daemons, and the recovery registry whose journal descriptors the
+    simulated OS closes when the job dies.  The untagged entry (key ``None``)
+    is the legacy machine-wide scope of single-job runs."""
+
+    __slots__ = ("ranks", "daemons", "recovery", "crashed")
+
+    def __init__(self):
+        self.ranks: list[Process] = []
+        self.daemons: list[Process] = []
+        self.recovery = None
+        self.crashed: Optional[JobAborted] = None
+
+
 class FaultInjector:
     """Drives one :class:`FaultSchedule` against one :class:`~repro.machine.Machine`."""
 
@@ -65,11 +85,15 @@ class FaultInjector:
         self.tracer = machine.tracer
         self.schedule = schedule
         self.sync_rpc_timeout = float(schedule.sync_rpc_timeout)
-        self.crashed: Optional[JobAborted] = None
-        self.crash_time: Optional[float] = None
+        self.crashed: Optional[JobAborted] = None  # the untagged scope's crash
+        self.crash_time: Optional[float] = None  # most recent crash teardown
         self.injected = 0  # count of fault effects actually delivered
-        self._rank_procs: list[Process] = []
-        self._daemons: list[Process] = []
+        # Job-scoped crash registries: tag -> _JobEntry.  Single-job runs
+        # register under tag None (the machine-wide legacy scope); a fleet
+        # registers each job under its label, so an aggregator_crash tears
+        # down exactly one job's ranks and daemons.
+        self._jobs: dict[Optional[str], _JobEntry] = {}
+        self._arrival_order: dict[str, int] = {}  # tag -> nth-arriving index
         self._ssd_read: dict[int, list[_FaultState]] = {}
         self._gc_pressure: dict[int, list[_FaultState]] = {}
         self._wal_torn: dict[int, list[_FaultState]] = {}
@@ -156,16 +180,54 @@ class FaultInjector:
                 )
 
     # -- registration ----------------------------------------------------------
-    def register_ranks(self, procs: list[Process]) -> None:
-        """Adopt the current job's rank processes as crash-interrupt targets.
+    def register_ranks(
+        self,
+        procs: list[Process],
+        job_tag: Optional[str] = None,
+        recovery=None,
+    ) -> None:
+        """Adopt a job's rank processes as crash-interrupt targets.
 
-        A new world on the same machine (the recovery run) replaces the old,
-        already-dead set — and re-arms the one-teardown-per-job guard, so a
-        crash spec still pending (e.g. armed on ``recovery_replay``) can
-        tear the *new* job down too.  Cascading crashes are exactly this.
+        ``job_tag`` scopes the registration: a fleet registers each job
+        under its label so ``aggregator_crash`` routes to exactly that job;
+        single-job runs register untagged (``None``), the legacy
+        machine-wide scope.  ``recovery`` is the registry whose journal
+        descriptors the teardown closes (a fleet job's *private*
+        :class:`~repro.faults.recovery.CacheRecoveryRegistry`); when omitted
+        it falls back to ``machine.recovery``.
+
+        A new world under the same tag replaces the old, *already-dead* set
+        — and re-arms that scope's one-teardown-per-registration guard, so
+        a crash spec still pending (e.g. armed on ``recovery_replay``) can
+        tear the new incarnation down too.  Cascading crashes and fleet
+        restarts are exactly this.  Re-registering while the previous set is
+        still alive is an error: the old processes would silently lose crash
+        coverage (and with them the daemons wired to their teardown).
         """
-        self._rank_procs = list(procs)
-        self.crashed = None
+        entry = self._jobs.get(job_tag)
+        if entry is None:
+            entry = _JobEntry()
+            self._jobs[job_tag] = entry
+        elif any(p.is_alive for p in entry.ranks):
+            scope = f"job {job_tag!r}" if job_tag is not None else "the machine"
+            raise SimError(
+                f"register_ranks: {scope} already has live registered rank "
+                f"processes — a second registration would silently drop "
+                f"their crash coverage (deregister or let them finish first)"
+            )
+        if job_tag is not None and job_tag not in self._arrival_order:
+            self._arrival_order[job_tag] = len(self._arrival_order)
+        entry.ranks = list(procs)
+        if recovery is not None:
+            entry.recovery = recovery
+        entry.crashed = None
+        if job_tag is None:
+            self.crashed = None
+
+    def deregister_job(self, job_tag: Optional[str]) -> None:
+        """Drop a job's crash scope on teardown (its arrival index survives,
+        so ``job_index`` addressing stays stable for later specs)."""
+        self._jobs.pop(job_tag, None)
 
     def sync_faults_possible(self, node_id: int) -> bool:
         """Can a :class:`FaultError` reach a sync thread on ``node_id``?
@@ -177,23 +239,52 @@ class FaultInjector:
         """
         return self.sync_rpc_timeout > 0 or node_id in self._ssd_read
 
-    def register_daemon(self, proc: Process) -> None:
+    def register_daemon(self, proc: Process, job_tag: Optional[str] = None) -> None:
         """Register a background process (sync thread) that must be torn down
-        with the job on a crash.  Daemons catch the Interrupt and die quietly."""
-        self._daemons.append(proc)
+        with its job on a crash.  Daemons catch the Interrupt and die quietly."""
+        entry = self._jobs.get(job_tag)
+        if entry is None:
+            entry = _JobEntry()
+            self._jobs[job_tag] = entry
+        entry.daemons.append(proc)
 
     # -- event-driven triggering -------------------------------------------------
-    def notify(self, event: str) -> None:
+    def notify(self, event: str, job: Optional[str] = None) -> None:
         """Workload progress notification (e.g. ``write_done:2``).
 
-        The first notification consumes every fault armed on that event;
-        repeats (all ranks emit the same milestone) are no-ops.
+        ``job`` is the emitting job's label (``None`` outside a fleet).  An
+        untargeted fault armed on the event is consumed by the *first*
+        notification, whoever emits it (repeats — all ranks emit the same
+        milestone — are no-ops); a job-addressed fault is consumed only by
+        a notification from its target job, and stays armed across other
+        jobs' identical milestones.
         """
-        for state in self._by_event.pop(event, ()):
+        states = self._by_event.get(event)
+        if not states:
+            return
+        remaining: list[_FaultState] = []
+        for state in states:
+            spec = state.spec
+            if (spec.job or spec.job_index >= 0) and not self._job_matches(
+                spec, job
+            ):
+                remaining.append(state)
+                continue
             self.sim.process(
-                self._trigger_later(state, state.spec.delay),
-                name=f"fault:{state.spec.kind}",
+                self._trigger_later(state, spec.delay),
+                name=f"fault:{spec.kind}",
             )
+        if remaining:
+            self._by_event[event] = remaining
+        else:
+            del self._by_event[event]
+
+    def _job_matches(self, spec: FaultSpec, job_tag: Optional[str]) -> bool:
+        if job_tag is None:
+            return False
+        if spec.job:
+            return spec.job == job_tag
+        return self._arrival_order.get(job_tag) == spec.job_index
 
     def _trigger_later(self, state: _FaultState, delay: float):
         yield self.sim.timeout(delay)
@@ -229,26 +320,52 @@ class FaultInjector:
 
     # -- crash -------------------------------------------------------------------
     def _fire_crash(self, spec: FaultSpec) -> None:
-        if self.crashed is not None:
-            return  # one teardown per schedule
-        self.crashed = JobAborted(spec)
+        tag: Optional[str] = None
+        if spec.job:
+            tag = spec.job
+        elif spec.job_index >= 0:
+            tag = next(
+                (
+                    t
+                    for t, index in self._arrival_order.items()
+                    if index == spec.job_index
+                ),
+                None,
+            )
+            if tag is None:
+                return  # the addressed job never arrived: the crash misses
+        entry = self._jobs.get(tag)
+        if entry is None or entry.crashed is not None:
+            return  # no such scope, or one teardown per registration
+        entry.crashed = JobAborted(spec)
+        if tag is None:
+            self.crashed = entry.crashed
         self.crash_time = self.sim.now
         self.injected += 1
-        self._emit("aggregator_crash", target=spec.target)
+        self._emit("aggregator_crash", target=spec.target, job=tag)
         # The OS closes a dead process's descriptors; without this the
         # recovery pass could never reclaim a replayed cache file's space.
-        recovery = getattr(self.machine, "recovery", None)
+        # The registry is the *job's* (a fleet job journals privately).
+        recovery = entry.recovery
+        if recovery is None:
+            recovery = getattr(self.machine, "recovery", None)
         if recovery is not None:
             for journal in recovery.entries():
+                # Every journal still registered at teardown lost its owner:
+                # mark it orphaned so the next collective open replays it.
+                # (A restart re-registers *live* journals for the same paths
+                # before replay runs; those must never be treated as
+                # recoverable state.)
+                journal.orphaned = True
                 if journal.local_file is None:
                     continue  # NVMM WAL journal: no descriptor to close
                 fs = self.machine.local_fs[journal.node_id]
                 while journal.local_file.open_count > 0:
                     fs.close(journal.local_file)
-        for proc in self._daemons:
-            proc.interrupt(self.crashed)
-        for proc in self._rank_procs:
-            proc.interrupt(self.crashed)
+        for proc in entry.daemons:
+            proc.interrupt(entry.crashed)
+        for proc in entry.ranks:
+            proc.interrupt(entry.crashed)
 
     # -- per-I/O hooks --------------------------------------------------------------
     def on_device_read(self, device, offset: int, nbytes: int) -> None:

@@ -66,6 +66,12 @@ class CacheJournal:
     # NVMM backend (cache_kind=nvmm): the write-ahead log to replay from
     # instead of the extent file; ``local_file`` is None in that mode.
     wal: Optional[object] = None
+    # Set by the injector's crash teardown: the owning process died with
+    # this journal still registered.  Replay touches *only* orphaned
+    # journals — a restarted job re-registers a live journal for the same
+    # path before the replay pass runs, and that one is not recoverable
+    # state, it is the new incarnation's working cache.
+    orphaned: bool = False
 
     def unflushed(self) -> list[tuple[int, int]]:
         """Extents written to the cache but not yet persisted globally."""
@@ -106,8 +112,8 @@ class CacheRecoveryRegistry:
         return [j for j in self._journals if j.path == path]
 
     def has_orphans(self, path: str) -> bool:
-        """Does any journal for ``path`` hold unflushed data to replay?"""
-        return any(j.unflushed() for j in self.entries(path))
+        """Does any *orphaned* journal for ``path`` hold unflushed data?"""
+        return any(j.orphaned and j.unflushed() for j in self.entries(path))
 
     # -- the replay pass (run during collective open) ------------------------------
     def replay(self, fd, rank: int):
@@ -121,7 +127,9 @@ class CacheRecoveryRegistry:
         if rank % cfg.procs_per_node != 0:
             return
         node_id = self.machine.node_of_rank(rank)
-        mine = [j for j in self.entries(fd.path) if j.node_id == node_id]
+        mine = [
+            j for j in self.entries(fd.path) if j.node_id == node_id and j.orphaned
+        ]
         if not mine:
             return
         sim = self.machine.sim
@@ -130,7 +138,9 @@ class CacheRecoveryRegistry:
         # landing while the journal is being replayed) trigger from here.
         injector = getattr(self.machine, "faults", None)
         if injector is not None:
-            injector.notify("recovery_replay")
+            injector.notify(
+                "recovery_replay", job=getattr(self.machine, "job_label", None)
+            )
         io_stats = getattr(self.machine, "io_stats", None)
         client = self.machine.pfs_client(rank)
         localfs = self.machine.local_fs[node_id]

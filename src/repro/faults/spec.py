@@ -19,6 +19,7 @@ Paper correspondence: none (fault-injection extension, see
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -67,6 +68,13 @@ class FaultSpec:
     factor: float = 1.0  # capacity multiplier (link_degrade)
     on_event: str = ""  # workload event name; overrides `start` when set
     delay: float = 0.0  # extra seconds after the event before triggering
+    # Job addressing (aggregator_crash in a fleet): exactly which job's
+    # ranks + daemons the teardown hits.  ``job_index`` names the nth job to
+    # *arrive* (register ranks with the injector), ``job`` names a job by
+    # its label ("j3").  Both unset = the legacy machine-wide (untagged)
+    # registry, i.e. single-job semantics.
+    job_index: int = -1  # nth-arriving job (-1 = untargeted)
+    job: str = ""  # job label; overrides job_index when set
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -75,6 +83,11 @@ class FaultSpec:
             )
         if self.target < 0:
             raise ValueError(f"fault target must be >= 0, got {self.target}")
+        if (self.job_index >= 0 or self.job) and self.kind != "aggregator_crash":
+            raise ValueError(
+                f"{self.kind}: job addressing (job_index/job) only applies to "
+                f"aggregator_crash — infra faults act on physical targets"
+            )
         if self.start < 0 or self.delay < 0:
             raise ValueError("fault start/delay must be >= 0")
         if not 0.0 <= self.rate <= 1.0:
@@ -127,6 +140,8 @@ class FaultSchedule:
         num_servers: int | None = None,
         num_ranks: int | None = None,
         job: str | None = None,
+        num_files: int | None = None,
+        num_jobs: int | None = None,
     ) -> "FaultSchedule":
         """Reject schedules that would mis-execute instead of failing fast.
 
@@ -137,7 +152,17 @@ class FaultSchedule:
         * node/server/rank targets within the given cluster bounds,
         * no duplicate ``ssd_device_loss`` on the same node (the second
           would re-fire on an already read-only device),
-        * event-driven specs name a non-empty event.
+        * event-driven specs name a non-empty event,
+        * ``write_done:<k>`` anchors point at a write phase the workload
+          actually performs (``k < num_files`` — beyond it the trigger
+          silently never fires),
+        * ``job_index`` addressing stays inside the fleet (``< num_jobs``).
+
+        Event anchors that no workload emits (neither a ``write_done:<k>``
+        milestone nor ``recovery_replay``) raise a ``UserWarning`` instead
+        of an error: custom drivers may emit custom milestones, but an
+        unreachable trigger in a generated schedule is almost certainly a
+        typo'd event name.
 
         Bounds are only enforced for dimensions the caller provides.
         ``job`` (a fleet job label) prefixes every message so a failure in
@@ -185,6 +210,32 @@ class FaultSchedule:
                         f"{where}: names rank {spec.target}, but the job "
                         f"has {num_ranks} ranks"
                     )
+                if num_jobs is not None and spec.job_index >= num_jobs:
+                    raise ValueError(
+                        f"{where}: addresses job_index {spec.job_index}, but "
+                        f"the fleet admits {num_jobs} jobs"
+                    )
+            if spec.on_event.startswith("write_done:"):
+                try:
+                    write_idx = int(spec.on_event.rpartition(":")[2])
+                except ValueError:
+                    raise ValueError(
+                        f"{where}: malformed write milestone "
+                        f"{spec.on_event!r} (expected write_done:<int>)"
+                    ) from None
+                if num_files is not None and write_idx >= num_files:
+                    raise ValueError(
+                        f"{where}: anchored on {spec.on_event!r}, but the "
+                        f"workload writes only {num_files} file(s) — the "
+                        f"trigger would silently never fire"
+                    )
+            elif spec.on_event and spec.on_event != "recovery_replay":
+                warnings.warn(
+                    f"{where}: event {spec.on_event!r} is not a milestone "
+                    f"the phased workload driver emits (write_done:<k> or "
+                    f"recovery_replay) — the trigger may be unreachable",
+                    stacklevel=2,
+                )
             if spec.delay > 0 and not spec.on_event:
                 raise ValueError(
                     f"{where}: delay={spec.delay} has no on_event to anchor "

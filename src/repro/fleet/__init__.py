@@ -12,9 +12,14 @@ single-job §IV measurements to a multi-tenant cluster.
 """
 
 from repro.fleet.arrivals import arrival_times
-from repro.fleet.chaos import FleetChaosResult, run_fleet_chaos
+from repro.fleet.chaos import FleetChaosResult, fleet_chaos_schedule, run_fleet_chaos
 from repro.fleet.job import FleetJobSpec, build_job_workload, job_hints
-from repro.fleet.metrics import percentile, summarize_jobs
+from repro.fleet.metrics import (
+    DEFAULT_RECOVERY_SLO,
+    evaluate_job_slo,
+    percentile,
+    summarize_jobs,
+)
 from repro.fleet.runner import (
     FleetJobResult,
     FleetResult,
@@ -30,6 +35,7 @@ from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.view import JobView
 
 __all__ = [
+    "DEFAULT_RECOVERY_SLO",
     "FleetChaosResult",
     "FleetJobResult",
     "FleetJobSpec",
@@ -41,6 +47,8 @@ __all__ = [
     "arrival_times",
     "build_job_workload",
     "default_row_cache",
+    "evaluate_job_slo",
+    "fleet_chaos_schedule",
     "fleet_job_specs",
     "job_hints",
     "percentile",

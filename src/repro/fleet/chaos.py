@@ -1,9 +1,9 @@
-"""Fleet × chaos integration: a multi-job fleet under random infra faults.
+"""Fleet × chaos integration: a multi-job fleet under random faults.
 
-One seeded schedule from the chaos generator — restricted to *windowed
-infrastructure* faults (SSD error windows, device losses, server stalls,
-link degradation; ``crash_probability=0``) — runs against a small fleet on
-one shared machine, with:
+One seeded schedule from the chaos generator — windowed *infrastructure*
+faults (SSD error windows, device losses, server stalls, link degradation)
+plus job-addressed *crash* faults — runs against a small fleet on one
+shared machine, with:
 
 * the machine-level :class:`~repro.chaos.invariants.InvariantMonitor`
   attached (stripe-lock coherence, the no-progress watchdog, and the
@@ -14,13 +14,22 @@ one shared machine, with:
   equations the single-job monitor checks — application bytes split exactly
   into cached + direct, cached bytes leave exactly once (flushed, replayed,
   discarded, or still journaled), and reported losses never exceed what the
-  journals still hold.
+  journals still hold;
+* a **per-job recovery-SLO assertion**
+  (:func:`~repro.fleet.metrics.evaluate_job_slo`): a crashed job must
+  restart, replay its private journals, and finish with zero lost bytes
+  for cached writes, all within the recovery budgets.
 
-Crash faults are excluded by construction: ``aggregator_crash`` targets the
-injector's machine-wide rank registry, which successive fleet jobs
-overwrite — a fleet-aware crash router is future work (see ROADMAP).  The
-infra fault kinds act on *physical* targets (nodes, servers, links), which
-is exactly what a shared cluster degrades.
+Crash faults route through the injector's *job-scoped* rank registry: each
+fleet job registers its ranks and sync-thread daemons under its label, and
+a generated ``aggregator_crash`` carries a ``job_index`` that addresses
+exactly one job — the teardown interrupts that job's processes only, other
+jobs see it purely as contention.  The crashed job re-enters the queue
+under the fleet's restart policy (exponential backoff, pinned to the nodes
+holding its journals, bounded retries) and replays its unflushed extents on
+reopen — the paper's crash-recovery argument, exercised in a multi-tenant
+cluster.  The infra fault kinds act on *physical* targets (nodes, servers,
+links), which is exactly what a shared cluster degrades.
 
 Paper correspondence: none (robustness harness for the fleet extension).
 """
@@ -33,6 +42,7 @@ from typing import Optional
 from repro.chaos.generate import ChaosConfig, generate_schedule
 from repro.chaos.invariants import InvariantMonitor
 from repro.config import ClusterConfig
+from repro.fleet.metrics import evaluate_job_slo
 from repro.fleet.runner import FleetResult, FleetSpec, resolve_fleet_config, run_fleet
 from repro.sim.core import DeadlockError
 
@@ -46,21 +56,32 @@ class FleetChaosResult:
     violations: list = field(default_factory=list)
     faults_injected: int = 0
     statuses: dict = field(default_factory=dict)  # status -> job count
+    crashed_jobs: int = 0  # jobs the schedule actually tore down
+    restarts: int = 0  # crash-triggered resubmissions across the fleet
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
 
-def fleet_chaos_schedule(spec: FleetSpec, config: ClusterConfig, seed: int, max_faults: int = 3):
-    """A seeded, crash-free (infra-only) schedule sized to the fleet cluster."""
+def fleet_chaos_schedule(
+    spec: FleetSpec,
+    config: ClusterConfig,
+    seed: int,
+    max_faults: int = 3,
+    crash_probability: float = 0.35,
+):
+    """A seeded schedule sized to the fleet cluster.  Crash specs carry a
+    ``job_index`` drawn from the fleet size, so each crash addresses exactly
+    one (seeded-random) job through the injector's job-scoped registry."""
     chaos_cfg = ChaosConfig(
         num_nodes=config.num_nodes,
         num_servers=config.pfs.num_data_servers,
         num_ranks=config.num_ranks,
         num_files=spec.num_files,
         max_faults=max_faults,
-        crash_probability=0.0,
+        crash_probability=crash_probability,
+        num_jobs=spec.fleet_size,
     )
     return generate_schedule(chaos_cfg, seed)
 
@@ -105,8 +126,18 @@ def run_fleet_chaos(
     max_faults: int = 3,
     config: Optional[ClusterConfig] = None,
     fleet_seed: int = 2016,
+    crash_probability: float = 0.35,
+    max_restarts: int = 2,
+    row_cache=None,
+    dataplane: Optional[str] = None,
 ) -> FleetChaosResult:
-    """Run one fleet chaos trial; violations make ``result.ok`` false."""
+    """Run one fleet chaos trial; violations make ``result.ok`` false.
+
+    ``crash_probability``/``max_restarts`` parameterise the job-addressed
+    crash draws and the fleet's restart budget; ``row_cache`` streams each
+    job's row (restart counts and SLO verdicts included) to disk as it
+    completes, keyed by the fleet point *and* the fault schedule.
+    """
     spec = FleetSpec(
         fleet_size=fleet_size,
         num_nodes=8,
@@ -114,9 +145,12 @@ def run_fleet_chaos(
         job_nodes=(1, 2),
         scale=scale,
         seed=fleet_seed,
+        max_restarts=max_restarts,
     )
     cfg = resolve_fleet_config(spec, config)
-    schedule = fleet_chaos_schedule(spec, cfg, seed, max_faults=max_faults)
+    schedule = fleet_chaos_schedule(
+        spec, cfg, seed, max_faults=max_faults, crash_probability=crash_probability
+    )
     violations: list[str] = []
     statuses: dict[str, int] = {}
     state: dict = {}
@@ -133,12 +167,14 @@ def run_fleet_chaos(
         # Completed-job snapshot: the inflow equation and loss bound must
         # already hold; the outflow equation is re-audited at quiescence
         # (an aborted job's background flush may still be in flight here).
-        finished.append((view.job_label, view))
+        finished.append((view.job_label, view, row))
 
     fleet = run_fleet(
         spec,
         config=cfg,
+        dataplane=dataplane,
         faults=schedule,
+        row_cache=row_cache,
         on_complete=on_complete,
         on_machine=on_machine,
     )
@@ -148,14 +184,31 @@ def run_fleet_chaos(
     except DeadlockError as exc:
         violations.append(f"deadlock during drain: {exc}")
     violations.extend(monitor.check_quiescent())
-    for label, view in finished:
+    crashed_jobs = 0
+    restarts = 0
+    for label, view, row in finished:
         violations.extend(
             audit_job_conservation(label, view.io_stats, view.recovery.entries())
         )
+        # Recovery SLOs, per job: a crashed job must come back, replay its
+        # journals, and (when cached and "ok") lose nothing.
+        violations.extend(evaluate_job_slo(row))
+        if row.first_crash_time > 0:
+            crashed_jobs += 1
+        restarts += row.restarts
+        if row.status == "failed" and view.io_stats["bytes_lost"] > sum(
+            j.unflushed_bytes for j in view.recovery.entries()
+        ):
+            violations.append(
+                f"job {label}: failed with bytes_lost exceeding its "
+                f"remaining journals"
+            )
     return FleetChaosResult(
         seed=seed,
         fleet=fleet,
         violations=violations,
         faults_injected=len(schedule.faults),
         statuses=statuses,
+        crashed_jobs=crashed_jobs,
+        restarts=restarts,
     )

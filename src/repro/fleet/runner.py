@@ -49,13 +49,13 @@ from repro.fleet.job import (
     build_job_workload,
     job_hints,
 )
-from repro.fleet.metrics import summarize_jobs
+from repro.fleet.metrics import evaluate_job_slo, summarize_jobs
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.view import JobView
 from repro.machine import Machine
 from repro.mpi.process import MPIWorld
 from repro.romio.file import MPIIOLayer
-from repro.sim.core import Event
+from repro.sim.core import Event, Interrupt
 from repro.workloads.phases import multi_phase_body
 
 
@@ -81,6 +81,13 @@ class FleetSpec:
     compute_delay: float = 0.02
     scale: float = 1.0
     seed: int = 2016
+    # Restart policy for crashed jobs: a job killed by an injected
+    # aggregator_crash re-enters the queue (pinned to its original nodes,
+    # where its recovery journals live) after an exponentially backed-off
+    # delay, up to ``max_restarts`` times; exhausting the budget marks it
+    # ``failed`` with its journals left for the loss-bound audit.
+    max_restarts: int = 2
+    restart_backoff: float = 0.005  # base delay [sim s]; doubles per attempt
 
     def __post_init__(self):
         if self.fleet_size <= 0:
@@ -106,6 +113,12 @@ class FleetSpec:
                 raise ValueError(
                     f"job_nodes entry {n}: outside the {self.num_nodes}-node cluster"
                 )
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts={self.max_restarts}: must be >= 0")
+        if self.restart_backoff < 0:
+            raise ValueError(
+                f"restart_backoff={self.restart_backoff}: must be >= 0"
+            )
 
     @property
     def label(self) -> str:
@@ -114,10 +127,17 @@ class FleetSpec:
 
 @dataclass(frozen=True)
 class FleetRowSpec:
-    """Cache key for one streamed per-job row: the fleet point + job id."""
+    """Cache key for one streamed per-job row: the fleet point + job id.
+
+    ``faults``/``sync_rpc_timeout`` carry the fault schedule the fleet ran
+    under (empty = fault-free), so a chaos fleet's rows never alias a
+    fault-free fleet's rows for the same :class:`FleetSpec`.
+    """
 
     fleet: FleetSpec
     job_id: int
+    faults: tuple = ()
+    sync_rpc_timeout: float = 0.0
 
     # The sweep progress printer reads these off any spec it reports.
     @property
@@ -143,7 +163,7 @@ class FleetJobResult:
     nodes: int
     num_ranks: int
     placement: tuple
-    status: str  # "ok" | "loss" | "fault"
+    status: str  # "ok" | "loss" | "fault" | "failed" (crash budget spent)
     submit_time: float
     start_time: float
     end_time: float
@@ -169,16 +189,28 @@ class FleetJobResult:
     ssd_bytes_read: int = 0
     nvmm_bytes_written: int = 0
     nvmm_bytes_read: int = 0
+    # Crash/restart timeline (all zero for jobs that never crashed).  The
+    # recovery-SLO layer (fleet/metrics.py) gates these per job.
+    restarts: int = 0  # crash-triggered resubmissions that ran
+    first_crash_time: float = 0.0  # sim time of the first crash (0 = none)
+    time_to_restart: float = 0.0  # total crash -> next-incarnation-start [s]
+    replay_duration: float = 0.0  # total journal-replay time on reopen [s]
+    bytes_replayed: int = 0  # journal bytes rewritten to the global file
+    degraded_window: float = 0.0  # time_to_restart + replay_duration
+    slo_ok: bool = True  # evaluate_job_slo verdict under default budgets
+    slo_violations: tuple = ()
 
     def to_dict(self) -> dict:
         d = asdict(self)
         d["placement"] = list(self.placement)
+        d["slo_violations"] = list(self.slo_violations)
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "FleetJobResult":
         fields_ = dict(d)
         fields_["placement"] = tuple(fields_.get("placement", ()))
+        fields_["slo_violations"] = tuple(fields_.get("slo_violations", ()))
         return cls(**fields_)
 
 
@@ -291,6 +323,13 @@ def _job_body(view: JobView, job: FleetJobSpec):
     procs = world.spawn(body)
     try:
         timings = yield sim.all_of(procs)
+    except Interrupt as exc:
+        if not isinstance(exc.cause, JobAborted):
+            raise
+        # The injector's crash router already tore down exactly this job's
+        # ranks and daemons; classify and let the supervisor decide whether
+        # the restart budget covers a resubmission.
+        status, cause = "crash", exc.cause
     except SyncFailedError as exc:
         status, cause = "loss", exc
     except FaultError as exc:
@@ -363,6 +402,8 @@ def run_fleet(
             num_nodes=cfg.num_nodes,
             num_servers=cfg.pfs.num_data_servers,
             num_ranks=cfg.num_ranks,
+            num_files=spec.num_files,
+            num_jobs=spec.fleet_size,
         )
 
     # Solo references first, one fresh machine per distinct job shape.
@@ -377,15 +418,43 @@ def run_fleet(
     sim = machine.sim
     submit_at: dict[int, float] = {}
     rows: dict[int, FleetJobResult] = {}
+    # Per-job restart lifecycle.  The JobView is reused across incarnations
+    # so the job's private recovery registry (and its byte ledgers) span the
+    # crash: the restarted incarnation replays the journals the crashed one
+    # left behind.
+    views: dict[int, JobView] = {}
+    lifecycle: dict[int, dict] = {}
     result = FleetResult(
         spec=spec,
         dataplane=machine.dataplane,
         engine=os.environ.get("REPRO_ENGINE", "slotted"),
     )
     fleet_done = Event(sim, name="fleet.done")
+    row_key_extra = {}
+    if faults is not None:
+        row_key_extra = {
+            "faults": faults.faults,
+            "sync_rpc_timeout": faults.sync_rpc_timeout,
+        }
 
     def _supervise(job: FleetJobSpec, view: JobView, placement):
+        st = lifecycle.setdefault(
+            job.job_id,
+            {
+                "restarts": 0,
+                "first_start": None,
+                "first_crash": 0.0,
+                "crash_time": 0.0,
+                "time_to_restart": 0.0,
+            },
+        )
         start = sim.now
+        if st["first_start"] is None:
+            st["first_start"] = start
+        else:
+            # This incarnation is a restart: the crash -> restart gap is the
+            # job-down part of the recovery SLO.
+            st["time_to_restart"] += start - st["crash_time"]
         # Tag the placement's node devices for the duration of ownership:
         # every SSD/NVMM request they serve is charged to this job's ledger
         # (nodes are exclusively owned, so the tag is unambiguous).
@@ -402,9 +471,32 @@ def run_fleet(
                 node.ssd.job_tag = None
                 node.nvmm.job_tag = None
         end = sim.now
+        if status == "crash" and st["restarts"] < spec.max_restarts:
+            st["restarts"] += 1
+            st["crash_time"] = end
+            if not st["first_crash"]:
+                st["first_crash"] = end
+            scheduler.release(placement)
+            sim.process(
+                _resubmit(job, placement, st["restarts"]),
+                name=f"fleet.{job.label}.restart{st['restarts']}",
+            )
+            return
+        if status == "crash":
+            # Retry budget exhausted: the job is failed for good.  Its
+            # journals stay registered — the loss-bound audit (and the
+            # quiescent conservation equations) account every byte they
+            # still hold.
+            status = "failed"
+            if not st["first_crash"]:
+                st["first_crash"] = end
+        if machine.faults is not None:
+            machine.faults.deregister_job(view.job_label)
         solo_wall, solo_bw = solo[job.shape_key]
-        queue_wait = start - submit_at[job.job_id]
-        wall = end - start
+        first_start = st["first_start"]
+        queue_wait = first_start - submit_at[job.job_id]
+        wall = end - first_start  # spans crash + restart churn, by design
+        replay_duration = view.recovery.recovery_time
         servers = machine.pfs.servers
         ssds = [machine.nodes[n].ssd for n in placement]
         nvmms = [machine.nodes[n].nvmm for n in placement]
@@ -417,7 +509,7 @@ def run_fleet(
             placement=placement,
             status=status,
             submit_time=submit_at[job.job_id],
-            start_time=start,
+            start_time=first_start,
             end_time=end,
             queue_wait=queue_wait,
             wall_time=wall,
@@ -438,10 +530,19 @@ def run_fleet(
             ssd_bytes_read=sum(d.bytes_read_by_tag.get(tag, 0) for d in ssds),
             nvmm_bytes_written=sum(d.bytes_written_by_tag.get(tag, 0) for d in nvmms),
             nvmm_bytes_read=sum(d.bytes_read_by_tag.get(tag, 0) for d in nvmms),
+            restarts=st["restarts"],
+            first_crash_time=st["first_crash"],
+            time_to_restart=st["time_to_restart"],
+            replay_duration=replay_duration,
+            bytes_replayed=view.io_stats["bytes_replayed"],
+            degraded_window=st["time_to_restart"] + replay_duration,
         )
+        row.slo_violations = tuple(evaluate_job_slo(row))
+        row.slo_ok = not row.slo_violations
         rows[job.job_id] = row
         if row_cache is not None:
-            if row_cache.put(FleetRowSpec(spec, job.job_id), cfg, row) is not None:
+            key = FleetRowSpec(spec, job.job_id, **row_key_extra)
+            if row_cache.put(key, cfg, row) is not None:
                 result.streamed_rows += 1
         if on_complete is not None:
             on_complete(job, view, row)
@@ -449,8 +550,17 @@ def run_fleet(
         if len(rows) == len(jobs):
             fleet_done.succeed()
 
+    def _resubmit(job: FleetJobSpec, placement, attempt: int):
+        # Exponential backoff, then re-enter the queue pinned to the nodes
+        # that hold this job's recovery journals.
+        yield sim.timeout(spec.restart_backoff * (2.0 ** (attempt - 1)))
+        scheduler.submit(job, pinned=placement)
+
     def _launch(job: FleetJobSpec, placement):
-        view = JobView(machine, job.job_id, placement)
+        view = views.get(job.job_id)
+        if view is None:
+            view = JobView(machine, job.job_id, placement)
+            views[job.job_id] = view
         sim.process(_supervise(job, view, placement), name=f"fleet.{job.label}")
 
     scheduler = FleetScheduler(cfg.num_nodes, _launch, backfill=spec.backfill)

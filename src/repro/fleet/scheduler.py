@@ -45,14 +45,26 @@ class FleetScheduler:
         self.started = 0
         self.backfilled = 0  # jobs started past a blocked queue head
 
-    def submit(self, job) -> None:
-        """Queue a job (``job.nodes`` is its node request) and try to start."""
+    def submit(self, job, pinned=None) -> None:
+        """Queue a job (``job.nodes`` is its node request) and try to start.
+
+        ``pinned`` requests an exact placement (a tuple of node ids): the
+        job starts only when *those* nodes are free.  Restarted jobs pin to
+        their original placement because their recovery journals live on
+        those nodes' cache devices — replay selects journals by physical
+        node id, so a crashed job must come back where its data is.
+        """
         if job.nodes > self.num_nodes:
             raise ValueError(
                 f"job {job.job_id}: requests {job.nodes} nodes, but the "
                 f"cluster has {self.num_nodes}"
             )
-        self.queue.append(job)
+        if pinned is not None and len(pinned) != job.nodes:
+            raise ValueError(
+                f"job {job.job_id}: pinned placement {pinned} does not match "
+                f"its {job.nodes}-node request"
+            )
+        self.queue.append((job, tuple(pinned) if pinned is not None else None))
         self._try_start()
 
     def release(self, placement) -> None:
@@ -69,11 +81,21 @@ class FleetScheduler:
         del self.free[:count]
         return placement
 
+    def _alloc_pinned(self, pinned: tuple) -> Optional[tuple[int, ...]]:
+        if any(node not in self.free for node in pinned):
+            return None
+        for node in pinned:
+            self.free.remove(node)
+        return pinned
+
     def _try_start(self) -> None:
         i = 0
         while i < len(self.queue):
-            job = self.queue[i]
-            placement = self._alloc(job.nodes)
+            job, pinned = self.queue[i]
+            if pinned is not None:
+                placement = self._alloc_pinned(pinned)
+            else:
+                placement = self._alloc(job.nodes)
             if placement is not None:
                 del self.queue[i]
                 self.running += 1

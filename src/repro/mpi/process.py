@@ -101,8 +101,15 @@ class MPIWorld:
             )
         inj = getattr(self.machine, "faults", None)
         if inj is not None:
-            # Crash faults interrupt exactly these processes.
-            inj.register_ranks(procs)
+            # Crash faults interrupt exactly these processes.  The scope is
+            # the machine's job label (a fleet JobView carries one; a plain
+            # Machine registers untagged), and the teardown closes journal
+            # descriptors through the *job's* recovery registry.
+            inj.register_ranks(
+                procs,
+                job_tag=getattr(self.machine, "job_label", None),
+                recovery=getattr(self.machine, "recovery", None),
+            )
         return procs
 
     def run(self, rank_body: RankBody, until: Optional[float] = None) -> list[Any]:

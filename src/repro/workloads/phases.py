@@ -88,8 +88,13 @@ def multi_phase_body(
             faults = getattr(ctx.machine, "faults", None)
             if faults is not None:
                 # Milestone for event-triggered faults (e.g. an aggregator
-                # crash "just after writing file k").  First arrival fires.
-                faults.notify(f"write_done:{k}")
+                # crash "just after writing file k").  First arrival fires
+                # untargeted specs; job-addressed specs (fleet crash
+                # routing) only consume their own job's milestone.
+                faults.notify(
+                    f"write_done:{k}",
+                    job=getattr(ctx.machine, "job_label", None),
+                )
             timings.append(timing)
             if wrapper is not None:
                 t0 = ctx.now

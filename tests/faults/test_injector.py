@@ -188,3 +188,51 @@ class TestValidation:
                 small_testbed(),
                 faults=FaultSchedule.of(FaultSpec("server_stall", target=99)),
             )
+
+
+class TestJobScopedRegistration:
+    """The crash registry refuses to silently drop live ranks' coverage."""
+
+    @staticmethod
+    def _machine():
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="write_done:1", delay=1e-3)
+        )
+        return Machine(small_testbed(), faults=sched)
+
+    @staticmethod
+    def _idle_procs(machine, n=2):
+        def idle():
+            yield machine.sim.timeout(0.01)
+
+        return [machine.sim.process(idle()) for _ in range(n)]
+
+    @pytest.mark.parametrize("job_tag", [None, "j0"])
+    def test_double_registration_of_live_ranks_rejected(self, job_tag):
+        m = self._machine()
+        procs = self._idle_procs(m)
+        m.faults.register_ranks(procs, job_tag=job_tag)
+        with pytest.raises(SimError, match="live registered rank"):
+            m.faults.register_ranks(self._idle_procs(m), job_tag=job_tag)
+
+    def test_reregistration_after_ranks_finish_is_allowed(self):
+        m = self._machine()
+        procs = self._idle_procs(m)
+        m.faults.register_ranks(procs, job_tag="j0")
+        m.sim.run(until=m.sim.all_of(procs))
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j0")  # fine
+
+    def test_distinct_job_tags_register_independently(self):
+        m = self._machine()
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j0")
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j1")  # fine
+
+    def test_deregistered_job_frees_the_tag_but_keeps_arrival_index(self):
+        m = self._machine()
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j0")
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j1")
+        m.faults.deregister_job("j0")
+        m.faults.register_ranks(self._idle_procs(m), job_tag="j0")  # fine
+        # job_index addressing stays stable across deregistration: j0 is
+        # still the 0th arrival, j1 the 1st.
+        assert m.faults._arrival_order == {"j0": 0, "j1": 1}

@@ -1,5 +1,7 @@
 """FaultSpec / FaultSchedule construction, validation and round-tripping."""
 
+import warnings
+
 import pytest
 
 from repro.faults import FaultSchedule, FaultSpec, schedule_from_dicts
@@ -34,6 +36,18 @@ class TestFaultSpec:
         with pytest.raises(ValueError):
             FaultSpec("link_degrade", factor=0.0)
         FaultSpec("link_degrade", factor=0.25)  # fine
+
+    @pytest.mark.parametrize("kw", [{"job_index": 0}, {"job": "j3"}])
+    def test_job_addressing_restricted_to_crashes(self, kw):
+        with pytest.raises(ValueError, match="only applies to aggregator_crash"):
+            FaultSpec("ssd_io_error", **kw)
+        FaultSpec("aggregator_crash", on_event="write_done:0", **kw)  # fine
+
+    def test_job_addressed_round_trip(self):
+        spec = FaultSpec(
+            "aggregator_crash", on_event="write_done:1", delay=1e-3, job_index=5
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
 
     def test_round_trip(self):
         spec = FaultSpec(
@@ -120,3 +134,50 @@ class TestValidate:
     def test_valid_schedule_chains(self):
         sched = FaultSchedule.of(FaultSpec("server_stall", target=0))
         assert sched.validate(num_nodes=4, num_servers=2, num_ranks=8) is sched
+
+    def test_write_anchor_beyond_the_workload_rejected(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="write_done:5", delay=1e-3)
+        )
+        with pytest.raises(ValueError, match="silently never fire"):
+            sched.validate(num_files=2)
+        sched.validate(num_files=6)  # fine
+        sched.validate()  # unchecked dimension
+
+    def test_malformed_write_anchor_rejected(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="write_done:last", delay=1e-3)
+        )
+        with pytest.raises(ValueError, match="malformed write milestone"):
+            sched.validate(num_files=2)
+
+    def test_unknown_event_anchor_warns(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="flush_done", delay=1e-3)
+        )
+        with pytest.warns(UserWarning, match="may be unreachable"):
+            sched.validate(num_files=2)
+
+    def test_recovery_replay_anchor_accepted_silently(self):
+        sched = FaultSchedule.of(
+            FaultSpec("aggregator_crash", on_event="recovery_replay", delay=1e-3)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sched.validate(num_files=2)
+
+    def test_job_index_beyond_the_fleet_rejected(self):
+        sched = FaultSchedule.of(
+            FaultSpec(
+                "aggregator_crash", on_event="write_done:0", delay=1e-3, job_index=8
+            )
+        )
+        with pytest.raises(ValueError, match="addresses job_index 8.*admits 8 jobs"):
+            sched.validate(num_jobs=8)
+        sched.validate(num_jobs=9)  # fine
+        sched.validate()  # single-job callers don't bound the fleet
+
+    def test_delay_without_an_anchor_rejected(self):
+        sched = FaultSchedule.of(FaultSpec("aggregator_crash", delay=1e-3))
+        with pytest.raises(ValueError, match="no on_event to anchor"):
+            sched.validate()

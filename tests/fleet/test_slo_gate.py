@@ -1,0 +1,104 @@
+"""The ``check_bench --slo`` recovery-SLO gate, exercised as a library.
+
+Loads ``benchmarks/check_bench.py`` by path (it is a script, not a
+package module) and drives ``main(["--slo", ...])`` against synthetic
+fleet reports: the committed ``recovery_slos`` budgets must pass a report
+shaped like a healthy crash trial and fail one with an injected
+regression — which is the acceptance demonstration that the CI gate
+actually bites.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "benchmarks" / "baseline_quick.json"
+
+# A healthy crash-trial section: values inside the committed budgets
+# (reference trial: ttr 0.0050s, replay 0.0097s, window 0.0147s, 0 lost).
+GOOD_CRASH = {
+    "byte_identical": True,
+    "mismatches": [],
+    "slotted_bulk": {
+        "violations": [],
+        "crashed_jobs": 1,
+        "restarts": 1,
+        "bytes_replayed": 131072,
+        "slo_violations": 0,
+        "bytes_lost_cached": 0,
+        "time_to_restart_max": 0.005,
+        "replay_duration_total": 0.0097,
+        "degraded_window_max": 0.0147,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO / "benchmarks" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_report(tmp_path, crash) -> str:
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps({"mode": "quick", "ok": True, "fleet_crash": crash}))
+    return str(path)
+
+
+def run_gate(check_bench, tmp_path, crash) -> int:
+    report = write_report(tmp_path, crash)
+    return check_bench.main(["--slo", "--fleet", report, "--baseline", str(BASELINE)])
+
+
+class TestSloGate:
+    def test_healthy_crash_trial_passes(self, check_bench, tmp_path):
+        assert run_gate(check_bench, tmp_path, GOOD_CRASH) == 0
+
+    def test_injected_replay_regression_fails(self, check_bench, tmp_path, capsys):
+        crash = copy.deepcopy(GOOD_CRASH)
+        crash["slotted_bulk"]["replay_duration_total"] = 9.9
+        assert run_gate(check_bench, tmp_path, crash) == 1
+        assert "replay_duration_total 9.9 > budget" in capsys.readouterr().err
+
+    def test_lost_cached_bytes_fail_the_zero_budget(self, check_bench, tmp_path, capsys):
+        crash = copy.deepcopy(GOOD_CRASH)
+        crash["slotted_bulk"]["bytes_lost_cached"] = 4096
+        assert run_gate(check_bench, tmp_path, crash) == 1
+        assert "bytes_lost_cached 4096 > budget 0" in capsys.readouterr().err
+
+    def test_identity_divergence_fails(self, check_bench, tmp_path, capsys):
+        crash = copy.deepcopy(GOOD_CRASH)
+        crash["byte_identical"] = False
+        crash["mismatches"] = ["heapq_chunked"]
+        assert run_gate(check_bench, tmp_path, crash) == 1
+        assert "identities diverge" in capsys.readouterr().err
+
+    def test_crashless_trial_fails(self, check_bench, tmp_path, capsys):
+        crash = copy.deepcopy(GOOD_CRASH)
+        crash["slotted_bulk"].update(crashed_jobs=0, restarts=0, bytes_replayed=0)
+        assert run_gate(check_bench, tmp_path, crash) == 1
+        err = capsys.readouterr().err
+        assert "injected no crash" in err
+        assert "never restarted" in err
+        assert "replayed no journal bytes" in err
+
+    def test_report_predating_the_crash_trial_fails(
+        self, check_bench, tmp_path, capsys
+    ):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({"mode": "quick", "ok": True}))
+        rc = check_bench.main(
+            ["--slo", "--fleet", str(path), "--baseline", str(BASELINE)]
+        )
+        assert rc == 1
+        assert "fleet_crash section missing" in capsys.readouterr().err
